@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and records the
+rows it produced under ``benchmarks/results/`` so the numbers survive pytest's
+output capturing and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, lines: Iterable[str]) -> pathlib.Path:
+    """Write benchmark output *lines* to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(f"\n[{name}]")
+    print(text)
+    return path
+
+
+def format_row(columns: Sequence[object], widths: Sequence[int]) -> str:
+    """Fixed-width row formatting for readable result tables."""
+    cells = []
+    for value, width in zip(columns, widths):
+        if isinstance(value, float):
+            cells.append(f"{value:>{width}.2f}")
+        else:
+            cells.append(f"{str(value):>{width}}")
+    return "  ".join(cells)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting every benchmark's emitted rows."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

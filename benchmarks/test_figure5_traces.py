@@ -1,0 +1,94 @@
+"""Figure 5: spot-instance availability traces AS, BS and their +O variants.
+
+Regenerates the instance-count-over-time series of the four traces.  The
+``+O`` variants are produced the same way the paper produces them: by letting
+SpotServe's Algorithm 1 (with on-demand mixing enabled) decide how many
+on-demand instances to add while replaying the spot trace.
+"""
+
+from conftest import format_row, write_result
+from repro.cloud.instance import Market
+from repro.cloud.provider import CloudProvider
+from repro.core.server import SpotServeOptions, SpotServeSystem
+from repro.cloud.trace import trace_as, trace_bs
+from repro.experiments.scenarios import stable_workload_scenario
+from repro.llm.spec import get_model
+from repro.sim.engine import Simulator
+
+
+def sample_counts(trace, step=60.0):
+    """Spot instance counts sampled every *step* seconds."""
+    times = [t * step for t in range(int(trace.duration // step) + 1)]
+    return [(t, trace.instances_at(t)) for t in times]
+
+
+def derive_mixed_counts(trace_name, step=60.0):
+    """Replay the trace with on-demand mixing enabled and record fleet sizes."""
+    scenario = stable_workload_scenario("GPT-20B", trace_name, allow_on_demand=True)
+    simulator = Simulator()
+    provider = CloudProvider(simulator, scenario.trace)
+    system = SpotServeSystem(
+        simulator,
+        provider,
+        get_model("GPT-20B"),
+        options=SpotServeOptions(allow_on_demand=True),
+        initial_arrival_rate=scenario.arrival_rate,
+    )
+    system.submit_requests(scenario.arrival_process().generate(scenario.duration))
+    system.initialize()
+    samples = []
+    for step_index in range(int(scenario.duration // step) + 1):
+        until = step_index * step
+        simulator.run(until=until)
+        spot = sum(
+            1
+            for inst in provider.usable_instances()
+            if inst.market is Market.SPOT
+        )
+        on_demand = sum(
+            1
+            for inst in provider.usable_instances()
+            if inst.market is Market.ON_DEMAND
+        )
+        samples.append((until, spot, on_demand))
+    return samples
+
+
+def test_figure5_spot_traces(benchmark):
+    def build():
+        return {"AS": sample_counts(trace_as()), "BS": sample_counts(trace_bs())}
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = []
+    for name, samples in series.items():
+        lines.append(f"Trace {name} (spot instances over time, 4 GPUs each)")
+        lines.append(format_row(["time(s)", "#instances"], (8, 11)))
+        for time, count in samples:
+            lines.append(format_row([int(time), count], (8, 11)))
+        lines.append("")
+    write_result("figure5_traces_spot", lines)
+
+    for name, samples in series.items():
+        counts = [count for _, count in samples]
+        assert max(counts) == 12
+        assert min(counts) < 12
+
+
+def test_figure5_on_demand_mixing(benchmark):
+    def build():
+        return {f"{name}+O": derive_mixed_counts(name) for name in ("AS", "BS")}
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = []
+    for name, samples in series.items():
+        lines.append(f"Trace {name} (spot + on-demand mix decided by Algorithm 1)")
+        lines.append(format_row(["time(s)", "spot", "on-demand", "total"], (8, 6, 10, 6)))
+        for time, spot, on_demand in samples:
+            lines.append(format_row([int(time), spot, on_demand, spot + on_demand], (8, 6, 10, 6)))
+        lines.append("")
+    write_result("figure5_traces_mixed", lines)
+
+    # Mixing never removes spot capacity and the total never exceeds the spot
+    # fleet by more than the controller's on-demand budget.
+    for samples in series.values():
+        assert all(total >= spot for _, spot, od in samples for total in [spot + od])

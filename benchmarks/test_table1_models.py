@@ -1,0 +1,90 @@
+"""Table 1: model sizes, minimum GPU counts and single-request latencies.
+
+Regenerates the rows of Table 1 (model size, min #GPUs on 16 GB T4s, the
+(P, M) reference layout and ``l_exe`` with B=1, S_in=512, S_out=128) from the
+memory model and the calibrated analytic cost model.
+"""
+
+import pytest
+
+from conftest import format_row, write_result
+from repro.llm.costmodel import TABLE1_REFERENCE, LatencyModel
+from repro.llm.hardware import T4
+from repro.llm.memory import MemoryModel
+from repro.llm.spec import get_model
+
+GB = 1024 ** 3
+
+#: Paper values: size (GB), min #GPUs, (P, M), l_exe(B=1) seconds.
+PAPER_TABLE1 = {
+    "OPT-6.7B": (25.0, 4, (1, 4), 5.447),
+    "GPT-20B": (74.5, 12, (3, 4), 14.373),
+    "LLaMA-30B": (111.8, 16, (2, 8), 17.540),
+}
+
+
+def build_table1_rows():
+    """Compute the reproduced Table 1 rows."""
+    rows = []
+    for name, (paper_size, paper_min, (p, m), paper_latency) in PAPER_TABLE1.items():
+        spec = get_model(name)
+        memory = MemoryModel(spec, T4)
+        latency = LatencyModel(spec, T4)
+        rows.append(
+            {
+                "model": name,
+                "size_gb": spec.total_param_bytes / GB,
+                "paper_size_gb": paper_size,
+                "min_gpus": memory.min_gpus(batch_size=8),
+                "paper_min_gpus": paper_min,
+                "layout": (p, m),
+                "l_exe": latency.l_exe(p, m, 1),
+                "paper_l_exe": paper_latency,
+            }
+        )
+    return rows
+
+
+def test_table1_reproduction(benchmark):
+    rows = benchmark.pedantic(build_table1_rows, rounds=1, iterations=1)
+    widths = (12, 10, 10, 9, 9, 8, 10, 10)
+    lines = [
+        format_row(
+            ["Model", "size(GB)", "paper", "minGPUs", "paper", "(P,M)", "l_exe(s)", "paper"],
+            widths,
+        )
+    ]
+    for row in rows:
+        lines.append(
+            format_row(
+                [
+                    row["model"],
+                    row["size_gb"],
+                    row["paper_size_gb"],
+                    row["min_gpus"],
+                    row["paper_min_gpus"],
+                    f"{row['layout']}",
+                    row["l_exe"],
+                    row["paper_l_exe"],
+                ],
+                widths,
+            )
+        )
+    write_result("table1_models", lines)
+
+    for row in rows:
+        assert row["size_gb"] == pytest.approx(row["paper_size_gb"], rel=0.12)
+        assert row["min_gpus"] == row["paper_min_gpus"]
+        assert row["l_exe"] == pytest.approx(row["paper_l_exe"], rel=0.01)
+
+
+def test_table1_reference_configs_fit_memory(benchmark):
+    def check():
+        results = {}
+        for name, (_, _, (p, m), _) in PAPER_TABLE1.items():
+            memory = MemoryModel(get_model(name), T4)
+            results[name] = memory.fits(p, m, batch_size=8)
+        return results
+
+    fits = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert all(fits.values())

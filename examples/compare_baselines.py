@@ -1,0 +1,68 @@
+"""Compare SpotServe against the Rerouting and Reparallelization baselines.
+
+Reproduces one cell of Figure 6 (GPT-20B on the harsher ``BS`` trace by
+default) and prints the latency ladder for all three systems together with
+SpotServe's improvement factors.
+
+Run with::
+
+    python examples/compare_baselines.py [MODEL] [TRACE]
+
+e.g. ``python examples/compare_baselines.py LLaMA-30B AS``.
+"""
+
+import sys
+
+from repro.experiments.metrics import REPORTED_PERCENTILES
+from repro.experiments.runner import run_comparison
+from repro.experiments.scenarios import COMPARED_SYSTEMS, stable_workload_scenario
+
+
+def main(model_name: str = "GPT-20B", trace_name: str = "BS") -> None:
+    scenario = stable_workload_scenario(model_name, trace_name)
+    print(
+        f"model={scenario.model_name}  trace={scenario.trace.name}  "
+        f"arrival rate={scenario.arrival_rate} req/s (Gamma, CV={scenario.cv})"
+    )
+    print("running the three systems against the identical workload ...")
+    results = run_comparison(
+        COMPARED_SYSTEMS,
+        scenario.model_name,
+        scenario.trace,
+        scenario.arrival_process(),
+        options_by_system={name: scenario.options() for name in COMPARED_SYSTEMS},
+    )
+
+    header = ["system", "done", "avg"] + [f"p{p}" for p in REPORTED_PERCENTILES]
+    print()
+    print("  ".join(f"{h:>10s}" for h in header))
+    for name, result in results.items():
+        stats = result.latency
+        row = [name, str(result.completed_requests), f"{stats.mean:.1f}"] + [
+            f"{stats.percentiles[p]:.1f}" for p in REPORTED_PERCENTILES
+        ]
+        print("  ".join(f"{cell:>10s}" for cell in row))
+
+    spotserve = results["SpotServe"]
+    print()
+    for name, result in results.items():
+        if name == "SpotServe":
+            continue
+        factor_avg = result.latency.mean / spotserve.latency.mean
+        factor_p99 = result.latency.p99 / spotserve.latency.p99
+        print(
+            f"SpotServe vs {name}: {factor_avg:.2f}x lower average latency, "
+            f"{factor_p99:.2f}x lower P99 tail latency"
+        )
+    print()
+    print("reconfigurations / total stall seconds:")
+    for name, result in results.items():
+        print(
+            f"  {name:20s} {len(result.stats.reconfigurations):3d} reconfigs,"
+            f" {result.stats.total_stall_time:7.1f}s stalled,"
+            f" cost ${result.total_cost:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:3])

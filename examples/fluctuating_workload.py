@@ -1,0 +1,56 @@
+"""Auto-scaling under a fluctuating (MAF-like) workload (Figure 8 style).
+
+Replays a rescaled, bursty production-style arrival profile against the A'S
+trace with on-demand mixing enabled, and shows how SpotServe's adaptive
+configuration optimizer rides the load curve: the chosen (D, P, M, B)
+configurations over time, and the per-request latency timeline.
+
+Run with::
+
+    python examples/fluctuating_workload.py
+"""
+
+from repro.experiments.runner import run_comparison
+from repro.experiments.scenarios import COMPARED_SYSTEMS, fluctuating_workload_scenario
+
+
+def main() -> None:
+    scenario, arrival_process = fluctuating_workload_scenario("GPT-20B", "A'S")
+    print(
+        f"model={scenario.model_name}  trace={scenario.trace.name}+O  "
+        f"mean arrival rate={scenario.arrival_rate:.2f} req/s (fluctuating)"
+    )
+    results = run_comparison(
+        COMPARED_SYSTEMS,
+        scenario.model_name,
+        scenario.trace,
+        arrival_process,
+        duration=scenario.duration,
+        options_by_system={name: scenario.options() for name in COMPARED_SYSTEMS},
+    )
+
+    print()
+    print(f"{'system':>20s}  {'done':>5s}  {'avg(s)':>8s}  {'p99(s)':>8s}  {'cost($)':>8s}")
+    for name, result in results.items():
+        print(
+            f"{name:>20s}  {result.completed_requests:5d}  {result.latency.mean:8.1f}"
+            f"  {result.latency.p99:8.1f}  {result.total_cost:8.2f}"
+        )
+
+    spotserve = results["SpotServe"]
+    print()
+    print("SpotServe configuration timeline:")
+    for time, config in spotserve.stats.config_timeline:
+        print(f"  t={time:7.1f}s  {config}")
+
+    print()
+    print("arrival-rate profile vs observed per-request latency (sampled):")
+    timeline = spotserve.stats.request_timeline()
+    for index, (arrival, latency) in enumerate(timeline):
+        if index % max(len(timeline) // 20, 1) == 0:
+            rate = arrival_process.rate_at(arrival)
+            print(f"  t={arrival:7.1f}s  rate={rate:5.2f} req/s  latency={latency:7.1f}s")
+
+
+if __name__ == "__main__":
+    main()

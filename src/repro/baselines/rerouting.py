@@ -1,0 +1,204 @@
+"""Request-rerouting baseline.
+
+This baseline generalises spot-serving systems built for small models
+(MArk/Cocktail style): the model-parallel shape ``(P, M, B)`` is fixed to the
+optimal configuration at full availability and never changes; only the number
+of inference pipelines adapts.  When a preemption breaks a pipeline, its
+in-flight requests are rerouted to the surviving pipelines and recomputed
+from scratch; the pipeline's surviving instances sit idle until enough
+instances are available to rebuild a pipeline, which then has to reload its
+model parameters from persistent storage.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from ..cloud.instance import Instance
+from ..core.config import ParallelConfig
+from ..core.migration import MigrationPlanner
+from ..core.server import ServingSystemBase
+from ..core.stats import ReconfigurationRecord
+from ..engine.context import DeviceId
+from ..engine.pipeline import InferencePipeline, PipelineAssignment
+from ..engine.placement import TopologyPosition
+from ..sim.events import Event, EventType
+
+
+class RequestReroutingSystem(ServingSystemBase):
+    """Fixed model-parallel shape; whole pipelines are dropped / re-added."""
+
+    name = "Rerouting"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.restart_planner = MigrationPlanner(self.model, self.network)
+        self._fixed_shape: Optional[ParallelConfig] = None
+        self._pipeline_counter = itertools.count()
+        self._reserved_instances: set = set()
+
+    # ------------------------------------------------------------------
+    # Initial deployment
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        super().initialize()
+        if self.current_config is not None:
+            self._fixed_shape = self.current_config
+            # Re-index pipelines with the counter so later additions are unique.
+            for pipeline in self.pipelines:
+                next(self._pipeline_counter)
+
+    @property
+    def fixed_shape(self) -> Optional[ParallelConfig]:
+        """The frozen ``(P, M, B)`` shape (D reflects the initial deployment)."""
+        return self._fixed_shape
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def handle_preemption_notice(self, instance: Instance, deadline: float) -> None:
+        # Reactive baseline: nothing happens until the instance disappears.
+        return
+
+    def handle_preemption_final(self, instance: Instance) -> None:
+        now = self.simulator.now
+        affected = [p for p in self.pipelines if p.uses_instance(instance.instance_id)]
+        for pipeline in affected:
+            event = self._completion_events.pop(id(pipeline), None)
+            if event is not None:
+                event.cancel()
+            batch = pipeline.interrupt(now, preserve_cache=False)
+            if batch is not None:
+                batch.drop_cache()
+                self.request_queue.enqueue_front(batch.requests)
+                self.stats.rerouted_batches += 1
+        if affected:
+            self.pipelines = [
+                p for p in self.pipelines if not p.uses_instance(instance.instance_id)
+            ]
+            self._record_scaling("preemption-final", stall_time=0.0)
+            self._dispatch()
+        # Note: the surviving instances of a broken pipeline stay idle until a
+        # *new* instance is allocated (Section 2.3); they are not re-grouped
+        # among themselves, which is exactly what makes the rerouting baseline
+        # lose serving capacity after preemptions.
+
+    def handle_acquisition_ready(self, instance: Instance) -> None:
+        self._try_add_pipelines()
+
+    def handle_workload_check(self) -> None:
+        # The fixed-shape baseline never re-optimises for workload changes.
+        return
+
+    # ------------------------------------------------------------------
+    # Pipeline management
+    # ------------------------------------------------------------------
+    def _instances_per_pipeline(self) -> int:
+        shape = self._fixed_shape
+        if shape is None:
+            return 1
+        return -(-shape.gpus_per_pipeline // self.gpus_per_instance)
+
+    def _used_instance_ids(self) -> set:
+        used = set(self._reserved_instances)
+        for pipeline in self.pipelines:
+            used.update(pipeline.assignment.instance_ids)
+        return used
+
+    def _idle_instances(self) -> List[Instance]:
+        used = self._used_instance_ids()
+        return [
+            instance
+            for instance in self.instance_manager.stable_instances()
+            if instance.instance_id not in used
+        ]
+
+    def _try_add_pipelines(self) -> None:
+        if self._fixed_shape is None:
+            return
+        needed = self._instances_per_pipeline()
+        idle = self._idle_instances()
+        while len(idle) >= needed:
+            chosen, idle = idle[:needed], idle[needed:]
+            self._schedule_pipeline_addition(chosen)
+
+    def _schedule_pipeline_addition(self, instances: Sequence[Instance]) -> None:
+        """Bring up one pipeline on *instances* after the weight-load delay."""
+        assert self._fixed_shape is not None
+        shape = self._fixed_shape
+        single = ParallelConfig(
+            1, shape.pipeline_degree, shape.tensor_degree, shape.batch_size
+        )
+        load_plan = self.restart_planner.estimate_restart_plan(single)
+        delay = load_plan.stall_time + self.options.engine_launch_time
+        instance_ids = [instance.instance_id for instance in instances]
+        self._reserved_instances.update(instance_ids)
+        self.simulator.schedule_after(
+            delay,
+            EventType.GENERIC,
+            payload={"instance_ids": instance_ids},
+            callback=self._on_pipeline_ready,
+        )
+
+    def _on_pipeline_ready(self, event: Event) -> None:
+        instance_ids: List[str] = event.payload["instance_ids"]
+        self._reserved_instances.difference_update(instance_ids)
+        usable = {
+            instance.instance_id
+            for instance in self.instance_manager.stable_instances()
+        }
+        if not all(instance_id in usable for instance_id in instance_ids):
+            # One of the reserved instances was preempted while warming up.
+            self._try_add_pipelines()
+            return
+        shape = self._fixed_shape
+        if shape is None:
+            return
+        devices: List[DeviceId] = []
+        for instance in self.instance_manager.stable_instances():
+            if instance.instance_id in instance_ids:
+                devices.extend(instance.gpu_ids)
+        pipeline_index = next(self._pipeline_counter)
+        assignment = PipelineAssignment(
+            pipeline_index=pipeline_index,
+            pipeline_degree=shape.pipeline_degree,
+            tensor_degree=shape.tensor_degree,
+        )
+        positions = [
+            TopologyPosition(pipeline_index, p, m)
+            for p in range(shape.pipeline_degree)
+            for m in range(shape.tensor_degree)
+        ]
+        for device, position in zip(devices, positions):
+            assignment.devices[position] = device
+            self.meta_context.daemon(device).install_model_context(
+                shape.pipeline_degree, shape.tensor_degree, position
+            )
+        pipeline = InferencePipeline(assignment, self.latency_model, shape.batch_size)
+        self.pipelines.append(pipeline)
+        for instance_id in instance_ids:
+            self._initialized_instances.add(instance_id)
+        self._record_scaling("pipeline-added", stall_time=0.0)
+        self._dispatch()
+
+    def _record_scaling(self, reason: str, stall_time: float) -> None:
+        if self._fixed_shape is None:
+            return
+        new_config = ParallelConfig(
+            max(len(self.pipelines), 1),
+            self._fixed_shape.pipeline_degree,
+            self._fixed_shape.tensor_degree,
+            self._fixed_shape.batch_size,
+        )
+        old_config = self.current_config
+        self.current_config = new_config
+        self.stats.record_reconfiguration(
+            ReconfigurationRecord(
+                time=self.simulator.now,
+                old_config=old_config,
+                new_config=new_config,
+                reason=reason,
+                stall_time=stall_time,
+            )
+        )

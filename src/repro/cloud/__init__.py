@@ -1,0 +1,46 @@
+"""Preemptible-cloud simulator: instances, pricing, traces, provider."""
+
+from .instance import (
+    G4DN_12XLARGE,
+    Instance,
+    InstanceState,
+    InstanceType,
+    Market,
+)
+from .manager import InstanceManager
+from .pricing import BillingRecord, CostTracker
+from .provider import CloudProvider
+from .trace import (
+    BUILTIN_TRACES,
+    AvailabilityTrace,
+    TraceEvent,
+    TraceEventKind,
+    generate_random_trace,
+    get_trace,
+    trace_a_prime,
+    trace_as,
+    trace_b_prime,
+    trace_bs,
+)
+
+__all__ = [
+    "AvailabilityTrace",
+    "BUILTIN_TRACES",
+    "BillingRecord",
+    "CloudProvider",
+    "CostTracker",
+    "G4DN_12XLARGE",
+    "Instance",
+    "InstanceManager",
+    "InstanceState",
+    "InstanceType",
+    "Market",
+    "TraceEvent",
+    "TraceEventKind",
+    "generate_random_trace",
+    "get_trace",
+    "trace_a_prime",
+    "trace_as",
+    "trace_b_prime",
+    "trace_bs",
+]

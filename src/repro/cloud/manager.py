@@ -1,0 +1,160 @@
+"""Instance manager.
+
+The instance manager is the SpotServe component (Figure 3) that "interacts
+with the cloud and receives instance preemption/acquisition notifications".
+It owns the set of instances the serving system is currently paying for,
+implements the allocation policy of Algorithm 1 (allocate on-demand and spot
+simultaneously, release on-demand first) and maintains the small candidate
+pool of spare instances the paper keeps for smoother substitutions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.events import Event, EventType
+from .instance import Instance, InstanceState, Market
+from .provider import CloudProvider
+
+
+class InstanceManager:
+    """Tracks held instances and talks to the :class:`CloudProvider`."""
+
+    def __init__(
+        self,
+        provider: CloudProvider,
+        allow_on_demand: bool = False,
+        candidate_pool_size: int = 2,
+    ) -> None:
+        self.provider = provider
+        self.allow_on_demand = allow_on_demand
+        self.candidate_pool_size = candidate_pool_size
+        self._held: Dict[str, Instance] = {}
+        self._pending_preemption: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Event intake (wired by the serving system)
+    # ------------------------------------------------------------------
+    def on_acquisition_ready(self, event: Event) -> Instance:
+        """Record that a new instance became usable."""
+        instance: Instance = event.payload["instance"]
+        self._held[instance.instance_id] = instance
+        return instance
+
+    def on_preemption_notice(self, event: Event) -> Instance:
+        """Record a preemption notice (the instance stays usable until the deadline)."""
+        instance: Instance = event.payload["instance"]
+        self._pending_preemption[instance.instance_id] = event.payload["deadline"]
+        return instance
+
+    def on_preemption_final(self, event: Event) -> Instance:
+        """Drop an instance that has been reclaimed by the cloud."""
+        instance: Instance = event.payload["instance"]
+        self._held.pop(instance.instance_id, None)
+        self._pending_preemption.pop(instance.instance_id, None)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def held_instances(self) -> List[Instance]:
+        """Every instance the system currently holds and can use."""
+        return [inst for inst in self._held.values() if inst.is_usable]
+
+    def stable_instances(self) -> List[Instance]:
+        """Usable instances that are *not* in a grace period.
+
+        This is the set the parallelization controller should target: the
+        paper's ``N_t`` "includes newly allocated instances and excludes
+        instances to be preempted".
+        """
+        return [
+            inst
+            for inst in self._held.values()
+            if inst.is_usable and inst.instance_id not in self._pending_preemption
+        ]
+
+    def doomed_instances(self) -> List[Instance]:
+        """Instances currently inside a preemption grace period."""
+        return [
+            inst
+            for inst in self._held.values()
+            if inst.instance_id in self._pending_preemption and inst.is_usable
+        ]
+
+    def available_count(self) -> int:
+        """``N_t`` of Algorithm 1: usable instances not scheduled for preemption."""
+        return len(self.stable_instances())
+
+    def available_gpus(self) -> int:
+        """Total GPUs across :meth:`stable_instances`."""
+        return sum(inst.num_gpus for inst in self.stable_instances())
+
+    def on_demand_instances(self) -> List[Instance]:
+        """Held on-demand instances."""
+        return [
+            inst for inst in self._held.values() if inst.market is Market.ON_DEMAND and inst.is_usable
+        ]
+
+    def on_demand_alive(self) -> int:
+        """On-demand instances alive anywhere (held, launching or spare)."""
+        return sum(
+            1
+            for inst in self.provider.alive_instances()
+            if inst.market is Market.ON_DEMAND
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 allocation policy
+    # ------------------------------------------------------------------
+    def alloc(self, count: int) -> List[Instance]:
+        """Request *count* extra instances (Algorithm 1, line 8).
+
+        Spot and on-demand allocations are issued at the same time so that a
+        failed spot allocation does not delay capacity recovery; on-demand is
+        only used when mixing is enabled.  Returns the instances that were
+        actually granted (they become usable later, announced by
+        ``ACQUISITION_READY`` events).
+        """
+        if count <= 0:
+            return []
+        granted: List[Instance] = list(self.provider.request_spot(count))
+        if self.allow_on_demand:
+            remaining = count - len(granted)
+            if remaining > 0:
+                granted.extend(self.provider.request_on_demand(remaining))
+        return granted
+
+    def free(self, count: int) -> List[Instance]:
+        """Release *count* held instances (Algorithm 1, line 10).
+
+        On-demand instances are released first because they cost more; within
+        a market the most recently acquired instances go first.  The candidate
+        pool is preserved: the manager keeps up to ``candidate_pool_size``
+        extra instances as spares.
+        """
+        if count <= 0:
+            return []
+        count = max(count - self.candidate_pool_size, 0)
+        if count == 0:
+            return []
+        candidates = sorted(
+            self.held_instances(),
+            key=lambda inst: (
+                0 if inst.market is Market.ON_DEMAND else 1,
+                -inst.launch_time,
+                inst.instance_id,
+            ),
+        )
+        released: List[Instance] = []
+        for instance in candidates[:count]:
+            self.provider.release(instance)
+            self._held.pop(instance.instance_id, None)
+            released.append(instance)
+        return released
+
+    def adopt_initial_fleet(self) -> List[Instance]:
+        """Adopt every instance the provider already made usable (time zero fleet)."""
+        for instance in self.provider.usable_instances():
+            self._held[instance.instance_id] = instance
+        return self.held_instances()

@@ -1,0 +1,95 @@
+"""Monetary cost accounting.
+
+Figure 7 of the paper compares per-token cost and latency of SpotServe and
+the baselines against an on-demand-only deployment.  :class:`CostTracker`
+accumulates instance-hours per market as instances come and go and converts
+them into total and per-token USD figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .instance import Instance, InstanceType, Market
+
+
+@dataclass
+class BillingRecord:
+    """One instance's billed interval."""
+
+    instance_id: str
+    market: Market
+    start: float
+    end: Optional[float] = None
+    price_per_hour: float = 0.0
+
+    def cost(self, now: float) -> float:
+        """Cost in USD accrued up to *now* (or to the interval end)."""
+        end = self.end if self.end is not None else now
+        hours = max(end - self.start, 0.0) / 3600.0
+        return hours * self.price_per_hour
+
+
+class CostTracker:
+    """Tracks the monetary cost of every instance used during an experiment."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, BillingRecord] = {}
+        self._closed: List[BillingRecord] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def start_billing(self, instance: Instance, time: float) -> None:
+        """Begin billing *instance* at *time* (normally its launch time)."""
+        if instance.instance_id in self._records:
+            raise ValueError(f"instance {instance.instance_id} already billed")
+        self._records[instance.instance_id] = BillingRecord(
+            instance_id=instance.instance_id,
+            market=instance.market,
+            start=time,
+            price_per_hour=instance.instance_type.price_per_hour(instance.market),
+        )
+
+    def stop_billing(self, instance: Instance, time: float) -> None:
+        """Stop billing *instance* at *time* (preemption or release)."""
+        record = self._records.pop(instance.instance_id, None)
+        if record is None:
+            return
+        record.end = max(time, record.start)
+        self._closed.append(record)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def total_cost(self, now: float, market: Optional[Market] = None) -> float:
+        """Total USD spent up to *now*, optionally restricted to one market."""
+        total = 0.0
+        for record in self._closed:
+            if market is None or record.market is market:
+                total += record.cost(now)
+        for record in self._records.values():
+            if market is None or record.market is market:
+                total += record.cost(now)
+        return total
+
+    def cost_per_token(self, now: float, tokens_generated: int) -> float:
+        """USD per generated token (``inf`` when nothing was generated)."""
+        if tokens_generated <= 0:
+            return float("inf")
+        return self.total_cost(now) / tokens_generated
+
+    def instance_hours(self, now: float, market: Optional[Market] = None) -> float:
+        """Total billed instance-hours."""
+        hours = 0.0
+        for record in list(self._closed) + list(self._records.values()):
+            if market is None or record.market is market:
+                end = record.end if record.end is not None else now
+                hours += max(end - record.start, 0.0) / 3600.0
+        return hours
+
+    @property
+    def open_records(self) -> int:
+        """Number of instances currently accruing cost."""
+        return len(self._records)

@@ -1,0 +1,230 @@
+"""Simulated preemptible cloud provider.
+
+:class:`CloudProvider` replays an :class:`~repro.cloud.trace.AvailabilityTrace`
+on top of the discrete-event simulator and exposes exactly the interface the
+paper's instance manager consumes:
+
+* it grants the initial spot fleet at time zero,
+* trace ``ACQUIRE`` events deliver additional spot instances,
+* trace ``PREEMPT`` events pick victims among the held spot instances, emit a
+  *preemption notice* (:class:`~repro.sim.events.EventType.PREEMPTION_NOTICE`),
+  and reclaim the instance after the grace period
+  (:class:`~repro.sim.events.EventType.PREEMPTION_FINAL`),
+* the serving system can additionally request **on-demand** instances, which
+  always succeed and become ready after the instance type's startup delay,
+* released or preempted instances stop accruing cost in the
+  :class:`~repro.cloud.pricing.CostTracker`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..sim.engine import Simulator
+from ..sim.events import Event, EventType
+from .instance import G4DN_12XLARGE, Instance, InstanceState, InstanceType, Market
+from .pricing import CostTracker
+from .trace import AvailabilityTrace, TraceEventKind
+
+
+class CloudProvider:
+    """Replays a spot availability trace and serves allocation requests."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        trace: AvailabilityTrace,
+        instance_type: InstanceType = G4DN_12XLARGE,
+        cost_tracker: Optional[CostTracker] = None,
+        allow_spot_requests: bool = False,
+        trace_market: Market = Market.SPOT,
+        victim_seed: int = 0,
+    ) -> None:
+        self.simulator = simulator
+        self.trace = trace
+        self.instance_type = instance_type
+        self.cost_tracker = cost_tracker or CostTracker()
+        self.allow_spot_requests = allow_spot_requests
+        self.trace_market = trace_market
+        self._victim_rng = np.random.default_rng(victim_seed)
+        self._instances: Dict[str, Instance] = {}
+        self._preempted_count = 0
+        self._schedule_trace()
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def _schedule_trace(self) -> None:
+        for _ in range(self.trace.initial_instances):
+            self._grant_spot_instance(0.0, ready_immediately=True, announce=False)
+        for event in self.trace.events:
+            if event.kind is TraceEventKind.ACQUIRE:
+                self.simulator.schedule_at(
+                    event.time,
+                    EventType.GENERIC,
+                    payload={"provider_action": "trace_acquire", "count": event.count},
+                    callback=self._on_trace_acquire,
+                )
+            else:
+                self.simulator.schedule_at(
+                    event.time,
+                    EventType.GENERIC,
+                    payload={"provider_action": "trace_preempt", "count": event.count},
+                    callback=self._on_trace_preempt,
+                )
+
+    def _on_trace_acquire(self, event: Event) -> None:
+        for _ in range(event.payload["count"]):
+            self._grant_spot_instance(event.time, ready_immediately=True)
+
+    def _on_trace_preempt(self, event: Event) -> None:
+        victims = self._select_preemption_victims(event.payload["count"])
+        for victim in victims:
+            self._issue_preemption_notice(victim, event.time)
+
+    # ------------------------------------------------------------------
+    # Spot lifecycle
+    # ------------------------------------------------------------------
+    def _grant_spot_instance(
+        self, time: float, ready_immediately: bool, announce: bool = True
+    ) -> Instance:
+        instance = Instance(
+            instance_type=self.instance_type,
+            market=self.trace_market,
+            launch_time=time,
+        )
+        self._instances[instance.instance_id] = instance
+        self.cost_tracker.start_billing(instance, time)
+        if ready_immediately:
+            instance.mark_ready(time)
+            if announce:
+                self.simulator.schedule_at(
+                    time,
+                    EventType.ACQUISITION_READY,
+                    payload={"instance": instance},
+                )
+        else:
+            ready_at = time + self.instance_type.startup_delay
+            self.simulator.schedule_at(
+                ready_at,
+                EventType.ACQUISITION_READY,
+                payload={"instance": instance},
+                callback=lambda event, inst=instance: inst.mark_ready(event.time),
+            )
+        return instance
+
+    def _select_preemption_victims(self, count: int) -> List[Instance]:
+        """Pick spot instances to reclaim, uniformly at random.
+
+        The cloud has no knowledge of (and no sympathy for) the tenant's
+        pipeline placement, so victims land anywhere in the fleet -- this is
+        what causes the "chain crashing" effect described in Section 2.2.
+        The RNG is seeded, so replays stay deterministic.
+        """
+        candidates = [
+            instance
+            for instance in self._instances.values()
+            if instance.market is Market.SPOT and instance.is_alive
+        ]
+        candidates.sort(key=lambda inst: inst.instance_id)
+        if not candidates:
+            return []
+        count = min(count, len(candidates))
+        chosen = self._victim_rng.choice(len(candidates), size=count, replace=False)
+        return [candidates[index] for index in sorted(chosen)]
+
+    def _issue_preemption_notice(self, instance: Instance, time: float) -> None:
+        deadline = instance.notify_preemption(time)
+        self.simulator.schedule_at(
+            time,
+            EventType.PREEMPTION_NOTICE,
+            payload={"instance": instance, "deadline": deadline},
+        )
+        self.simulator.schedule_at(
+            deadline,
+            EventType.PREEMPTION_FINAL,
+            payload={"instance": instance},
+            callback=self._finalize_preemption,
+        )
+
+    def _finalize_preemption(self, event: Event) -> None:
+        instance: Instance = event.payload["instance"]
+        if not instance.is_alive:
+            return
+        instance.preempt(event.time)
+        self.cost_tracker.stop_billing(instance, event.time)
+        self._preempted_count += 1
+
+    # ------------------------------------------------------------------
+    # Allocation API (used by the instance manager)
+    # ------------------------------------------------------------------
+    def request_on_demand(self, count: int) -> List[Instance]:
+        """Allocate *count* on-demand instances; always succeeds.
+
+        The instances become usable after the instance type's startup delay
+        and are announced with an ``ACQUISITION_READY`` event.
+        """
+        if count <= 0:
+            return []
+        now = self.simulator.now
+        granted: List[Instance] = []
+        for _ in range(count):
+            instance = Instance(
+                instance_type=self.instance_type,
+                market=Market.ON_DEMAND,
+                launch_time=now,
+            )
+            self._instances[instance.instance_id] = instance
+            self.cost_tracker.start_billing(instance, now)
+            ready_at = now + self.instance_type.startup_delay
+            self.simulator.schedule_at(
+                ready_at,
+                EventType.ACQUISITION_READY,
+                payload={"instance": instance},
+                callback=lambda event, inst=instance: inst.mark_ready(event.time),
+            )
+            granted.append(instance)
+        return granted
+
+    def request_spot(self, count: int) -> List[Instance]:
+        """Try to allocate extra spot instances beyond the trace.
+
+        The published traces already encode every spot instance the cloud was
+        willing to grant, so by default extra requests fail (return an empty
+        list); set ``allow_spot_requests=True`` to model a more generous
+        market in what-if studies.
+        """
+        if count <= 0 or not self.allow_spot_requests:
+            return []
+        now = self.simulator.now
+        return [self._grant_spot_instance(now, ready_immediately=False) for _ in range(count)]
+
+    def release(self, instance: Instance) -> None:
+        """Voluntarily return *instance* to the cloud (stops billing)."""
+        if not instance.is_alive:
+            return
+        instance.release(self.simulator.now)
+        self.cost_tracker.stop_billing(instance, self.simulator.now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def instances(self) -> List[Instance]:
+        """Every instance ever granted (alive or not)."""
+        return list(self._instances.values())
+
+    def usable_instances(self) -> List[Instance]:
+        """Instances that can currently run inference."""
+        return [inst for inst in self._instances.values() if inst.is_usable]
+
+    def alive_instances(self) -> List[Instance]:
+        """Instances that are launching or usable."""
+        return [inst for inst in self._instances.values() if inst.is_alive]
+
+    @property
+    def preempted_count(self) -> int:
+        """Number of spot instances reclaimed so far."""
+        return self._preempted_count

@@ -1,0 +1,302 @@
+"""Spot-instance availability traces.
+
+The paper extracts two representative 20-minute segments, ``AS`` and ``BS``,
+from a 12-hour availability trace collected on AWS ``g4dn`` spot instances
+(Figure 5), and derives ``AS+O`` / ``BS+O`` variants by letting Algorithm 1
+mix in on-demand instances.  The raw AWS trace is not published, so this
+module ships hand-authored trace definitions that match the figure's shape
+(initial fleet size, preemption clusters, re-acquisitions) plus a generator
+for random traces with controllable preemption behaviour.
+
+A trace is a list of :class:`TraceEvent` items; each event adds or removes a
+number of spot instances at a timestamp.  Traces only describe the *spot*
+market -- on-demand instances are allocated at runtime by the instance
+manager when mixing is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class TraceEventKind(Enum):
+    """Whether the cloud grants or reclaims spot instances."""
+
+    ACQUIRE = "acquire"
+    PREEMPT = "preempt"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A change in spot-instance availability at a point in time."""
+
+    time: float
+    kind: TraceEventKind
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("trace events cannot occur before time zero")
+        if self.count <= 0:
+            raise ValueError("trace events must change at least one instance")
+
+    @property
+    def delta(self) -> int:
+        """Signed change in instance count."""
+        return self.count if self.kind is TraceEventKind.ACQUIRE else -self.count
+
+
+@dataclass
+class AvailabilityTrace:
+    """A named spot availability trace.
+
+    Attributes
+    ----------
+    name:
+        Trace identifier, e.g. ``"AS"``.
+    initial_instances:
+        Spot instances available at time zero.
+    events:
+        Availability changes, sorted by time.
+    duration:
+        Total trace length in seconds (the paper replays 20-minute segments).
+    gpus_per_instance:
+        Informational; the paper's instances have 4 GPUs each.
+    """
+
+    name: str
+    initial_instances: int
+    events: List[TraceEvent] = field(default_factory=list)
+    duration: float = 1200.0
+    gpus_per_instance: int = 4
+
+    def __post_init__(self) -> None:
+        if self.initial_instances < 0:
+            raise ValueError("initial_instances must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        self.events = sorted(self.events, key=lambda event: event.time)
+        counts = self.instance_counts()
+        if any(count < 0 for _, count in counts):
+            raise ValueError(f"trace {self.name} drives instance count negative")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def instance_counts(self) -> List[Tuple[float, int]]:
+        """Step series of ``(time, available spot instances)``."""
+        series = [(0.0, self.initial_instances)]
+        count = self.initial_instances
+        for event in self.events:
+            count += event.delta
+            series.append((event.time, count))
+        return series
+
+    def instances_at(self, time: float) -> int:
+        """Spot instances available at *time*."""
+        count = self.initial_instances
+        for event in self.events:
+            if event.time > time:
+                break
+            count += event.delta
+        return count
+
+    def preemption_times(self) -> List[float]:
+        """Timestamps of every preemption event (one entry per instance lost)."""
+        times: List[float] = []
+        for event in self.events:
+            if event.kind is TraceEventKind.PREEMPT:
+                times.extend([event.time] * event.count)
+        return times
+
+    def acquisition_times(self) -> List[float]:
+        """Timestamps of every acquisition event (one entry per instance gained)."""
+        times: List[float] = []
+        for event in self.events:
+            if event.kind is TraceEventKind.ACQUIRE:
+                times.extend([event.time] * event.count)
+        return times
+
+    @property
+    def min_instances(self) -> int:
+        """Lowest concurrent instance count over the trace."""
+        return min(count for _, count in self.instance_counts())
+
+    @property
+    def max_instances(self) -> int:
+        """Highest concurrent instance count over the trace."""
+        return max(count for _, count in self.instance_counts())
+
+    def average_instances(self) -> float:
+        """Time-weighted mean instance count over the trace duration."""
+        series = self.instance_counts()
+        total = 0.0
+        for index, (time, count) in enumerate(series):
+            end = series[index + 1][0] if index + 1 < len(series) else self.duration
+            end = min(end, self.duration)
+            if end > time:
+                total += count * (end - time)
+        return total / self.duration
+
+    # ------------------------------------------------------------------
+    # Manipulation
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float, name: Optional[str] = None) -> "AvailabilityTrace":
+        """Return a copy with every timestamp multiplied by *factor*."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return AvailabilityTrace(
+            name=name or f"{self.name}x{factor:g}",
+            initial_instances=self.initial_instances,
+            events=[
+                TraceEvent(event.time * factor, event.kind, event.count)
+                for event in self.events
+            ],
+            duration=self.duration * factor,
+            gpus_per_instance=self.gpus_per_instance,
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in traces matching Figure 5's shape
+# ----------------------------------------------------------------------
+def trace_as(duration: float = 1200.0) -> AvailabilityTrace:
+    """Trace ``AS``: a moderately dynamic segment.
+
+    Starts with a full fleet of 12 spot instances, loses a couple of
+    instances in the first half, recovers some capacity, and ends with a
+    late preemption -- the "gentler" of the two segments in Figure 5.
+    """
+    events = [
+        TraceEvent(180.0, TraceEventKind.PREEMPT, 1),
+        TraceEvent(300.0, TraceEventKind.PREEMPT, 2),
+        TraceEvent(520.0, TraceEventKind.ACQUIRE, 1),
+        TraceEvent(660.0, TraceEventKind.ACQUIRE, 1),
+        TraceEvent(780.0, TraceEventKind.PREEMPT, 1),
+        TraceEvent(900.0, TraceEventKind.ACQUIRE, 2),
+        TraceEvent(1080.0, TraceEventKind.PREEMPT, 1),
+    ]
+    return AvailabilityTrace("AS", initial_instances=12, events=events, duration=duration)
+
+
+def trace_bs(duration: float = 1200.0) -> AvailabilityTrace:
+    """Trace ``BS``: a volatile segment with clustered preemptions.
+
+    Loses a third of the fleet in a tight burst early on, dips to its minimum
+    mid-trace, and churns repeatedly -- the "harsher" segment of Figure 5
+    where tail latencies blow up for the baselines.
+    """
+    events = [
+        TraceEvent(150.0, TraceEventKind.PREEMPT, 2),
+        TraceEvent(210.0, TraceEventKind.PREEMPT, 2),
+        TraceEvent(360.0, TraceEventKind.ACQUIRE, 1),
+        TraceEvent(480.0, TraceEventKind.PREEMPT, 3),
+        TraceEvent(620.0, TraceEventKind.ACQUIRE, 2),
+        TraceEvent(760.0, TraceEventKind.PREEMPT, 2),
+        TraceEvent(880.0, TraceEventKind.ACQUIRE, 2),
+        TraceEvent(1000.0, TraceEventKind.ACQUIRE, 1),
+        TraceEvent(1100.0, TraceEventKind.PREEMPT, 1),
+    ]
+    return AvailabilityTrace("BS", initial_instances=12, events=events, duration=duration)
+
+
+def trace_a_prime(duration: float = 1080.0) -> AvailabilityTrace:
+    """Trace ``A'S``: segment used for the fluctuating-workload study (Fig. 8c)."""
+    events = [
+        TraceEvent(120.0, TraceEventKind.PREEMPT, 1),
+        TraceEvent(240.0, TraceEventKind.PREEMPT, 1),
+        TraceEvent(420.0, TraceEventKind.ACQUIRE, 1),
+        TraceEvent(600.0, TraceEventKind.PREEMPT, 2),
+        TraceEvent(780.0, TraceEventKind.ACQUIRE, 2),
+        TraceEvent(960.0, TraceEventKind.PREEMPT, 1),
+    ]
+    return AvailabilityTrace("A'S", initial_instances=10, events=events, duration=duration)
+
+
+def trace_b_prime(duration: float = 1080.0) -> AvailabilityTrace:
+    """Trace ``B'S``: harsher segment for the fluctuating-workload study (Fig. 8d)."""
+    events = [
+        TraceEvent(120.0, TraceEventKind.PREEMPT, 1),
+        TraceEvent(240.0, TraceEventKind.PREEMPT, 1),
+        TraceEvent(300.0, TraceEventKind.PREEMPT, 2),
+        TraceEvent(450.0, TraceEventKind.ACQUIRE, 2),
+        TraceEvent(600.0, TraceEventKind.PREEMPT, 2),
+        TraceEvent(750.0, TraceEventKind.ACQUIRE, 2),
+        TraceEvent(900.0, TraceEventKind.PREEMPT, 1),
+        TraceEvent(1000.0, TraceEventKind.ACQUIRE, 1),
+    ]
+    return AvailabilityTrace("B'S", initial_instances=10, events=events, duration=duration)
+
+
+BUILTIN_TRACES = {
+    "AS": trace_as,
+    "BS": trace_bs,
+    "A'S": trace_a_prime,
+    "B'S": trace_b_prime,
+}
+
+
+def get_trace(name: str) -> AvailabilityTrace:
+    """Return a built-in trace by name (case-insensitive, exact match first)."""
+    key = name.upper().replace(" ", "")
+    for candidate, factory in BUILTIN_TRACES.items():
+        if candidate.upper().replace(" ", "") == key:
+            return factory()
+    for candidate, factory in BUILTIN_TRACES.items():
+        if candidate.upper().replace("'", "").replace(" ", "") == key.replace("'", ""):
+            return factory()
+    raise KeyError(f"unknown trace {name!r}; available: {sorted(BUILTIN_TRACES)}")
+
+
+def generate_random_trace(
+    name: str,
+    duration: float = 1200.0,
+    initial_instances: int = 12,
+    preemption_rate: float = 1.0 / 240.0,
+    acquisition_rate: float = 1.0 / 300.0,
+    min_instances: int = 2,
+    max_instances: int = 16,
+    seed: int = 0,
+) -> AvailabilityTrace:
+    """Generate a synthetic availability trace with Poisson churn.
+
+    Preemptions and acquisitions each arrive as Poisson processes; events that
+    would push the fleet outside ``[min_instances, max_instances]`` are
+    dropped.  Useful for stress tests and sensitivity studies beyond the two
+    published segments.
+    """
+    if initial_instances < min_instances or initial_instances > max_instances:
+        raise ValueError("initial_instances must lie within [min_instances, max_instances]")
+    rng = np.random.default_rng(seed)
+    events: List[TraceEvent] = []
+    count = initial_instances
+    time = 0.0
+    while True:
+        next_preempt = rng.exponential(1.0 / preemption_rate) if preemption_rate > 0 else float("inf")
+        next_acquire = rng.exponential(1.0 / acquisition_rate) if acquisition_rate > 0 else float("inf")
+        step = min(next_preempt, next_acquire)
+        time += step
+        if time >= duration:
+            break
+        if next_preempt <= next_acquire:
+            size = int(rng.integers(1, 3))
+            size = min(size, count - min_instances)
+            if size > 0:
+                events.append(TraceEvent(time, TraceEventKind.PREEMPT, size))
+                count -= size
+        else:
+            size = int(rng.integers(1, 3))
+            size = min(size, max_instances - count)
+            if size > 0:
+                events.append(TraceEvent(time, TraceEventKind.ACQUIRE, size))
+                count += size
+    return AvailabilityTrace(
+        name=name,
+        initial_instances=initial_instances,
+        events=events,
+        duration=duration,
+    )

@@ -1,0 +1,33 @@
+"""SpotServe core: controller, device mapper, migration planner, recovery, server."""
+
+from .config import ConfigurationSpace, ParallelConfig
+from .controller import (
+    ConfigEstimate,
+    OptimizerDecision,
+    ParallelizationController,
+)
+from .device_mapper import DeviceMapper, DeviceMapping
+from .interruption import InterruptionArrangement, InterruptionArranger
+from .migration import MigrationPlan, MigrationPlanner, MigrationStep
+from .server import ServingSystemBase, SpotServeOptions, SpotServeSystem
+from .stats import ReconfigurationRecord, ServingStats
+
+__all__ = [
+    "ConfigEstimate",
+    "ConfigurationSpace",
+    "DeviceMapper",
+    "DeviceMapping",
+    "InterruptionArrangement",
+    "InterruptionArranger",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "MigrationStep",
+    "OptimizerDecision",
+    "ParallelConfig",
+    "ParallelizationController",
+    "ReconfigurationRecord",
+    "ServingStats",
+    "ServingSystemBase",
+    "SpotServeOptions",
+    "SpotServeSystem",
+]

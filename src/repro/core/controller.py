@@ -1,0 +1,241 @@
+"""Parallelization controller: the adaptive configuration optimizer.
+
+This is Algorithm 1 of the paper.  Given the number of available instances
+``N_t`` (instances in their grace period excluded, newly allocated instances
+included) and the observed request arrival rate ``alpha_t``, the optimizer
+selects the next parallel configuration ``C_{t+1}``:
+
+* if some configuration can sustain the arrival rate (``phi(C) >= alpha_t``)
+  and the cloud can provide enough instances for it, pick the one with the
+  smallest estimated end-to-end request latency ``l_req(C)`` -- among
+  near-ties the cheaper (fewer instances) configuration wins;
+* otherwise pick the configuration that maximises throughput on the
+  instances at hand;
+* the difference between the chosen configuration's instance requirement and
+  ``N_t`` is returned so the instance manager can allocate (on-demand and
+  spot together) or release (on-demand first) instances.
+
+``l_req`` is estimated as the execution latency from the offline profiler
+plus a simple queueing/batch-formation term, mirroring the paper's
+decomposition ``l_req = l_sch + l_exe``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..llm.profiler import OfflineProfiler
+from .config import ConfigurationSpace, ParallelConfig
+
+#: Two candidate latencies within this relative margin are treated as ties,
+#: letting the cheaper configuration win (Section 3.2).
+LATENCY_TIE_MARGIN = 0.05
+
+
+@dataclass(frozen=True)
+class ConfigEstimate:
+    """Cost-model estimates for one candidate configuration."""
+
+    config: ParallelConfig
+    execution_latency: float
+    request_latency: float
+    throughput: float
+    num_instances: int
+
+    @property
+    def meets_rate(self) -> bool:
+        """Whether this configuration can keep up with the arrival rate."""
+        return self.request_latency != float("inf")
+
+
+@dataclass(frozen=True)
+class OptimizerDecision:
+    """Outcome of one optimizer invocation."""
+
+    config: ParallelConfig
+    estimate: ConfigEstimate
+    instance_delta: int
+    objective: str  # "latency" (line 3) or "throughput" (line 5)
+    arrival_rate: float
+    available_instances: int
+
+    @property
+    def needs_allocation(self) -> bool:
+        """True when extra instances should be requested."""
+        return self.instance_delta > 0
+
+    @property
+    def can_release(self) -> bool:
+        """True when instances could be released."""
+        return self.instance_delta < 0
+
+
+class ParallelizationController:
+    """Adaptive configuration optimizer (Algorithm 1)."""
+
+    def __init__(
+        self,
+        config_space: ConfigurationSpace,
+        profiler: OfflineProfiler,
+        slo_latency: Optional[float] = None,
+        latency_tie_margin: float = LATENCY_TIE_MARGIN,
+    ) -> None:
+        self.config_space = config_space
+        self.profiler = profiler
+        self.slo_latency = slo_latency
+        self.latency_tie_margin = latency_tie_margin
+
+    # ------------------------------------------------------------------
+    # Cost estimation
+    # ------------------------------------------------------------------
+    def estimate(self, config: ParallelConfig, arrival_rate: float) -> ConfigEstimate:
+        """Estimate execution latency, request latency and throughput of *config*."""
+        entry = self.profiler.profile(
+            config.data_degree,
+            config.pipeline_degree,
+            config.tensor_degree,
+            config.batch_size,
+        )
+        throughput = entry.throughput
+        execution_latency = entry.latency
+        request_latency = self._request_latency(execution_latency, throughput, config, arrival_rate)
+        return ConfigEstimate(
+            config=config,
+            execution_latency=execution_latency,
+            request_latency=request_latency,
+            throughput=throughput,
+            num_instances=config.num_instances(self.config_space.gpus_per_instance),
+        )
+
+    def _request_latency(
+        self,
+        execution_latency: float,
+        throughput: float,
+        config: ParallelConfig,
+        arrival_rate: float,
+    ) -> float:
+        """``l_req = l_exe + l_sch`` with a simple queueing model for ``l_sch``."""
+        if arrival_rate <= 0:
+            return execution_latency
+        utilisation = arrival_rate / throughput if throughput > 0 else float("inf")
+        if utilisation >= 1.0:
+            return float("inf")
+        # Average wait to fill a batch of B requests at the arrival rate.
+        batch_wait = (config.batch_size - 1) / (2.0 * arrival_rate)
+        # M/D/c-style queueing delay grows sharply as utilisation approaches 1.
+        queue_wait = (
+            utilisation
+            / (1.0 - utilisation)
+            * execution_latency
+            / (2.0 * config.data_degree)
+        )
+        return execution_latency + batch_wait + queue_wait
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def propose(
+        self,
+        available_instances: int,
+        arrival_rate: float,
+        max_instances: Optional[int] = None,
+    ) -> Optional[OptimizerDecision]:
+        """Select ``C_{t+1}`` for ``N_t = available_instances`` and ``alpha_t``.
+
+        ``max_instances`` bounds how many instances the cloud could provide in
+        total (``N_t`` plus whatever could still be allocated); it defaults to
+        ``N_t`` which models a spot-only deployment that cannot grow on
+        demand.  Returns ``None`` when no feasible configuration exists at all
+        (e.g. zero instances).
+        """
+        if max_instances is None:
+            max_instances = available_instances
+        max_instances = max(max_instances, available_instances)
+
+        reachable = self._estimates(max_instances, arrival_rate)
+        if not reachable:
+            return None
+
+        # Line 2-3: configurations that keep up with the arrival rate.
+        sustaining = [
+            est
+            for est in reachable
+            if est.throughput >= arrival_rate and est.meets_rate and self._meets_slo(est)
+        ]
+        if sustaining:
+            best = self._pick_lowest_latency(sustaining)
+            objective = "latency"
+        else:
+            # Line 5: no reachable configuration keeps up with the demand, so
+            # maximise throughput.  When the deployment may grow (on-demand
+            # mixing), the maximisation considers the larger fleet and the
+            # resulting positive delta triggers an allocation (lines 6-8);
+            # otherwise it is confined to the instances at hand.
+            candidates = [
+                est
+                for est in self._estimates(max_instances, arrival_rate, allow_infinite=True)
+            ]
+            if not candidates:
+                candidates = reachable
+            best = self._pick_highest_throughput(candidates)
+            objective = "throughput"
+
+        delta = best.num_instances - available_instances
+        return OptimizerDecision(
+            config=best.config,
+            estimate=best,
+            instance_delta=delta,
+            objective=objective,
+            arrival_rate=arrival_rate,
+            available_instances=available_instances,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _estimates(
+        self,
+        num_instances: int,
+        arrival_rate: float,
+        allow_infinite: bool = False,
+    ) -> List[ConfigEstimate]:
+        configs = self.config_space.feasible_configs(num_instances)
+        estimates = [self.estimate(config, arrival_rate) for config in configs]
+        if allow_infinite:
+            return estimates
+        return [est for est in estimates if est.execution_latency != float("inf")]
+
+    def _meets_slo(self, estimate: ConfigEstimate) -> bool:
+        if self.slo_latency is None:
+            return True
+        return estimate.request_latency <= self.slo_latency
+
+    def _pick_lowest_latency(self, estimates: Sequence[ConfigEstimate]) -> ConfigEstimate:
+        """Lowest request latency; near-ties resolved by monetary cost then GPUs."""
+        best_latency = min(est.request_latency for est in estimates)
+        threshold = best_latency * (1.0 + self.latency_tie_margin)
+        contenders = [est for est in estimates if est.request_latency <= threshold]
+        contenders.sort(
+            key=lambda est: (
+                est.num_instances,
+                est.request_latency,
+                est.config.num_gpus,
+                est.config.without_batch(),
+            )
+        )
+        return contenders[0]
+
+    def _pick_highest_throughput(self, estimates: Sequence[ConfigEstimate]) -> ConfigEstimate:
+        """Highest throughput; ties resolved by lower execution latency and cost."""
+        best_throughput = max(est.throughput for est in estimates)
+        threshold = best_throughput * (1.0 - self.latency_tie_margin)
+        contenders = [est for est in estimates if est.throughput >= threshold]
+        contenders.sort(
+            key=lambda est: (
+                est.execution_latency,
+                est.num_instances,
+                est.config.without_batch(),
+            )
+        )
+        return contenders[0]

@@ -1,0 +1,414 @@
+"""Device mapper: bipartite matching of GPUs onto the new device mesh.
+
+Given the target configuration ``C_{t+1}`` proposed by the parallelization
+controller and the current contents of every GPU's context daemon, the device
+mapper decides *which physical GPU should take which pipeline-stage-shard
+position* so that as much model context and KV cache as possible stays where
+it already is (Section 3.3).
+
+The decision is a maximum-weight bipartite matching problem: devices on one
+side, topology positions on the other, edge weights equal to the bytes of
+reusable context.  SpotServe solves it with the Kuhn-Munkres algorithm.  For
+multi-GPU instances the paper applies a hierarchical two-step matching
+(inter-instance first, intra-instance second) so that tensor groups stay
+within the fast intra-instance interconnect; both the flat and the
+hierarchical matcher are implemented here (the flat one doubles as the
+ablation baseline together with a greedy matcher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.context import DeviceId, MetaContextManager
+from ..engine.placement import (
+    TopologyPosition,
+    cache_context_overlap_bytes,
+    mesh_positions,
+    model_context_overlap_bytes,
+    position_cache_bytes,
+    position_model_bytes,
+)
+from ..llm.spec import ModelSpec
+from ..matching.bipartite import BipartiteGraph
+from .config import ParallelConfig
+
+
+@dataclass
+class DeviceMapping:
+    """Result of mapping available devices onto a target configuration."""
+
+    config: ParallelConfig
+    placement: Dict[DeviceId, TopologyPosition] = field(default_factory=dict)
+    reused_bytes: float = 0.0
+    required_bytes: float = 0.0
+
+    @property
+    def transfer_bytes(self) -> float:
+        """Bytes of context that must be migrated or loaded from storage."""
+        return max(self.required_bytes - self.reused_bytes, 0.0)
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of the new deployment's context already in place."""
+        if self.required_bytes <= 0:
+            return 1.0
+        return min(self.reused_bytes / self.required_bytes, 1.0)
+
+    def position_of(self, device_id: DeviceId) -> Optional[TopologyPosition]:
+        """Position assigned to *device_id* (None when unused)."""
+        return self.placement.get(device_id)
+
+    def device_at(self, position: TopologyPosition) -> Optional[DeviceId]:
+        """Device assigned to *position* (None when unfilled)."""
+        for device_id, assigned in self.placement.items():
+            if assigned == position:
+                return device_id
+        return None
+
+    @property
+    def unassigned_positions(self) -> List[TopologyPosition]:
+        """Positions of the target mesh that received no device."""
+        assigned = set(self.placement.values())
+        return [
+            position
+            for position in mesh_positions(
+                self.config.data_degree,
+                self.config.pipeline_degree,
+                self.config.tensor_degree,
+            )
+            if position not in assigned
+        ]
+
+
+class DeviceMapper:
+    """Builds the bipartite reuse graph and solves it with Kuhn-Munkres."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        gpus_per_instance: int = 4,
+        use_optimal_matching: bool = True,
+        hierarchical: bool = True,
+    ) -> None:
+        self.model = model
+        self.gpus_per_instance = gpus_per_instance
+        self.use_optimal_matching = use_optimal_matching
+        self.hierarchical = hierarchical
+
+    # ------------------------------------------------------------------
+    # Edge weights
+    # ------------------------------------------------------------------
+    def reuse_weight(
+        self,
+        meta_context: MetaContextManager,
+        device_id: DeviceId,
+        position: TopologyPosition,
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]] = None,
+    ) -> float:
+        """Bytes of context device *device_id* could reuse at *position*."""
+        daemon = meta_context.daemon(device_id)
+        weight = 0.0
+        model_ctx = daemon.model_context
+        if model_ctx is not None:
+            weight += model_context_overlap_bytes(
+                self.model,
+                model_ctx.pipeline_degree,
+                model_ctx.tensor_degree,
+                model_ctx.position,
+                new_config.pipeline_degree,
+                new_config.tensor_degree,
+                position,
+            )
+        cache_ctx = daemon.cache_context
+        if cache_ctx is not None:
+            inherits = True
+            if pipeline_inheritance is not None:
+                inherits = (
+                    pipeline_inheritance.get(cache_ctx.position.data_index) == position.data_index
+                )
+            weight += cache_context_overlap_bytes(
+                self.model,
+                cache_ctx.cached_tokens,
+                cache_ctx.batch_size,
+                cache_ctx.pipeline_degree,
+                cache_ctx.tensor_degree,
+                cache_ctx.position,
+                new_config.pipeline_degree,
+                new_config.tensor_degree,
+                position,
+                inherits_requests=inherits,
+            )
+        return weight
+
+    def build_graph(
+        self,
+        meta_context: MetaContextManager,
+        devices: Sequence[DeviceId],
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]] = None,
+    ) -> BipartiteGraph:
+        """Complete weighted bipartite graph between *devices* and positions."""
+        graph: BipartiteGraph = BipartiteGraph()
+        positions = mesh_positions(
+            new_config.data_degree, new_config.pipeline_degree, new_config.tensor_degree
+        )
+        for device_id in devices:
+            graph.add_left(device_id)
+        for position in positions:
+            graph.add_right(position)
+        for device_id in devices:
+            for position in positions:
+                weight = self.reuse_weight(
+                    meta_context, device_id, position, new_config, pipeline_inheritance
+                )
+                if weight > 0:
+                    graph.set_weight(device_id, position, weight)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map_devices(
+        self,
+        meta_context: MetaContextManager,
+        devices: Sequence[DeviceId],
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]] = None,
+        cached_tokens_per_pipeline: Optional[Dict[int, Tuple[int, int]]] = None,
+    ) -> DeviceMapping:
+        """Assign *devices* to the positions of *new_config*.
+
+        ``cached_tokens_per_pipeline`` maps new data-parallel index ->
+        ``(batch_size, cached_tokens)`` of the batch that pipeline will
+        resume; it is only used to compute the total context the new
+        deployment requires (the denominator of the reuse fraction).
+        """
+        positions = mesh_positions(
+            new_config.data_degree, new_config.pipeline_degree, new_config.tensor_degree
+        )
+        if len(devices) < len(positions):
+            raise ValueError(
+                f"configuration {new_config} needs {len(positions)} GPUs "
+                f"but only {len(devices)} are available"
+            )
+        flat_placement = self._flat_matching(
+            meta_context, devices, positions, new_config, pipeline_inheritance
+        )
+        placement = flat_placement
+        if self.hierarchical and self.gpus_per_instance > 1:
+            # The two-step (inter-instance, then intra-instance) matching keeps
+            # tensor groups co-located on fast links, but when shard widths
+            # change it can strand reusable context on unmatched instances; it
+            # is only adopted when it reuses at least as much as the flat KM
+            # matching.
+            hierarchical_placement = self._hierarchical_matching(
+                meta_context, devices, positions, new_config, pipeline_inheritance
+            )
+            if self._placement_reuse(
+                meta_context, hierarchical_placement, new_config, pipeline_inheritance
+            ) >= self._placement_reuse(
+                meta_context, flat_placement, new_config, pipeline_inheritance
+            ):
+                placement = hierarchical_placement
+
+        reused = self._placement_reuse(
+            meta_context, placement, new_config, pipeline_inheritance
+        )
+        required = self._required_bytes(new_config, cached_tokens_per_pipeline)
+        return DeviceMapping(
+            config=new_config,
+            placement=placement,
+            reused_bytes=reused,
+            required_bytes=required,
+        )
+
+    def _placement_reuse(
+        self,
+        meta_context: MetaContextManager,
+        placement: Dict[DeviceId, TopologyPosition],
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]],
+    ) -> float:
+        """Total reusable bytes of a concrete placement."""
+        return sum(
+            self.reuse_weight(meta_context, device_id, position, new_config, pipeline_inheritance)
+            for device_id, position in placement.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Matching strategies
+    # ------------------------------------------------------------------
+    def _flat_matching(
+        self,
+        meta_context: MetaContextManager,
+        devices: Sequence[DeviceId],
+        positions: Sequence[TopologyPosition],
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]],
+    ) -> Dict[DeviceId, TopologyPosition]:
+        graph = self.build_graph(meta_context, devices, new_config, pipeline_inheritance)
+        if self.use_optimal_matching:
+            matching = graph.maximum_weight_matching()
+        else:
+            matching = graph.greedy_matching()
+        placement = {
+            device_id: position
+            for device_id, position in matching.items()
+            if position is not None
+        }
+        self._fill_unassigned(placement, devices, positions)
+        return placement
+
+    def _hierarchical_matching(
+        self,
+        meta_context: MetaContextManager,
+        devices: Sequence[DeviceId],
+        positions: Sequence[TopologyPosition],
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]],
+    ) -> Dict[DeviceId, TopologyPosition]:
+        """Two-step matching: instances to position groups, then GPUs within."""
+        # Group the target positions into instance-sized chunks, keeping the
+        # deterministic (d, p, m) order so tensor shards stay co-located.
+        ordered = list(positions)
+        groups: List[List[TopologyPosition]] = [
+            ordered[i : i + self.gpus_per_instance]
+            for i in range(0, len(ordered), self.gpus_per_instance)
+        ]
+        # Bucket devices per instance.
+        per_instance: Dict[str, List[DeviceId]] = {}
+        for device_id in devices:
+            per_instance.setdefault(device_id[0], []).append(device_id)
+
+        instance_ids = sorted(per_instance)
+        group_graph: BipartiteGraph = BipartiteGraph()
+        best_inner: Dict[Tuple[str, int], Dict[DeviceId, TopologyPosition]] = {}
+        for instance_id in instance_ids:
+            group_graph.add_left(instance_id)
+        for group_index, group in enumerate(groups):
+            group_graph.add_right(group_index)
+        for instance_id in instance_ids:
+            instance_devices = per_instance[instance_id]
+            for group_index, group in enumerate(groups):
+                inner = self._match_within(
+                    meta_context, instance_devices, group, new_config, pipeline_inheritance
+                )
+                weight = sum(
+                    self.reuse_weight(
+                        meta_context, device_id, position, new_config, pipeline_inheritance
+                    )
+                    for device_id, position in inner.items()
+                )
+                best_inner[(instance_id, group_index)] = inner
+                if weight > 0:
+                    group_graph.set_weight(instance_id, group_index, weight)
+
+        if self.use_optimal_matching:
+            instance_matching = group_graph.maximum_weight_matching()
+        else:
+            instance_matching = group_graph.greedy_matching()
+
+        placement: Dict[DeviceId, TopologyPosition] = {}
+        used_groups: set = set()
+        for instance_id, group_index in instance_matching.items():
+            placement.update(best_inner[(instance_id, group_index)])
+            used_groups.add(group_index)
+
+        # Instances left unmatched (more instances than groups) contribute no
+        # placement; groups left unmatched are filled arbitrarily below.
+        self._fill_unassigned(placement, devices, positions)
+        return placement
+
+    def _match_within(
+        self,
+        meta_context: MetaContextManager,
+        instance_devices: Sequence[DeviceId],
+        group: Sequence[TopologyPosition],
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]],
+    ) -> Dict[DeviceId, TopologyPosition]:
+        graph: BipartiteGraph = BipartiteGraph()
+        for device_id in instance_devices:
+            graph.add_left(device_id)
+        for position in group:
+            graph.add_right(position)
+        for device_id in instance_devices:
+            for position in group:
+                weight = self.reuse_weight(
+                    meta_context, device_id, position, new_config, pipeline_inheritance
+                )
+                if weight > 0:
+                    graph.set_weight(device_id, position, weight)
+        matching = graph.maximum_weight_matching()
+        result = dict(matching)
+        # Deterministically fill any unmatched positions of the group with the
+        # instance's remaining GPUs.
+        free_devices = [d for d in instance_devices if d not in result]
+        free_positions = [p for p in group if p not in result.values()]
+        for device_id, position in zip(free_devices, free_positions):
+            result[device_id] = position
+        return result
+
+    @staticmethod
+    def _fill_unassigned(
+        placement: Dict[DeviceId, TopologyPosition],
+        devices: Sequence[DeviceId],
+        positions: Sequence[TopologyPosition],
+    ) -> None:
+        """Assign leftover devices to leftover positions (zero-reuse pairs)."""
+        assigned_positions = set(placement.values())
+        free_positions = [p for p in positions if p not in assigned_positions]
+        free_devices = [d for d in devices if d not in placement]
+        for device_id, position in zip(free_devices, free_positions):
+            placement[device_id] = position
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _required_bytes(
+        self,
+        config: ParallelConfig,
+        cached_tokens_per_pipeline: Optional[Dict[int, Tuple[int, int]]],
+    ) -> float:
+        model_bytes = (
+            position_model_bytes(self.model, config.pipeline_degree, config.tensor_degree)
+            * config.pipeline_degree
+            * config.tensor_degree
+            * config.data_degree
+        )
+        cache_bytes = 0.0
+        if cached_tokens_per_pipeline:
+            for _, (batch_size, cached_tokens) in cached_tokens_per_pipeline.items():
+                cache_bytes += (
+                    position_cache_bytes(
+                        self.model,
+                        cached_tokens,
+                        batch_size,
+                        config.pipeline_degree,
+                        config.tensor_degree,
+                    )
+                    * config.pipeline_degree
+                    * config.tensor_degree
+                )
+        return model_bytes + cache_bytes
+
+    @staticmethod
+    def select_batches_to_keep(
+        batches: Sequence, capacity: int
+    ) -> Tuple[List, List]:
+        """Keep the batches with the most decoding progress (Section 3.3).
+
+        When the new configuration supports fewer concurrent requests than
+        the old one (``D_{t+1} * B_{t+1} < D_t * B_t``), part of the cached
+        results must be discarded; keeping the most-advanced batches
+        minimises recomputation.  Returns ``(kept, discarded)``.
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        ordered = sorted(
+            batches, key=lambda batch: (-batch.committed_tokens, batch.batch_id)
+        )
+        return list(ordered[:capacity]), list(ordered[capacity:])

@@ -1,0 +1,518 @@
+"""Migration planner: progressive, memory-bounded context migration.
+
+After the device mapper fixes *where* every GPU goes, the migration planner
+(Algorithm 2) decides *in which order* context tensors move so that
+
+* the KV cache moves first (so decoding progress survives even if another
+  interruption lands mid-migration),
+* front pipeline stages finish their migration early and can resume serving
+  while later stages are still transferring (progressive migration), and
+* the transient receive-buffer memory on every instance stays below the
+  budget ``U_max`` (memory-optimised ordering), which is what lets SpotServe
+  serve GPT-20B on 12 GPUs instead of 16.
+
+The planner produces a :class:`MigrationPlan` made of :class:`MigrationStep`
+objects (one per layer plus one leading cache step), each carrying the
+point-to-point :class:`~repro.sim.network.Transfer` objects needed.  Timing
+comes from the :class:`~repro.sim.network.NetworkModel`; context that no
+surviving GPU holds any more must be fetched from cloud storage instead,
+which is dramatically slower and corresponds to the paper's fault-tolerance
+fallback of reloading weights from S3/disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine.context import DeviceId, MetaContextManager
+from ..engine.placement import TopologyPosition, shard_interval, stage_layer_range
+from ..llm.memory import DEFAULT_MIGRATION_BUFFER_BYTES
+from ..llm.spec import ModelSpec
+from ..sim.network import NetworkModel, Transfer
+from .config import ParallelConfig
+from .device_mapper import DeviceMapping
+
+#: Per-instance bandwidth for loading parameters from persistent/cloud
+#: storage, bytes/s.  Instances load their own slices in parallel; at 1 GB/s
+#: per instance a 120 B-parameter GPT (480 GB fp32 over 8 instances) takes
+#: about two minutes, matching the paper's observation.
+DEFAULT_STORAGE_BANDWIDTH = 1.0 * 1024 ** 3
+
+
+@dataclass
+class MigrationStep:
+    """One unit of the migration plan (the cache, or one layer's weights)."""
+
+    kind: str  # "cache" or "weight"
+    layer_index: Optional[int]
+    transfers: List[Transfer] = field(default_factory=list)
+    storage_bytes: float = 0.0
+    stages_ready: List[int] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes moved over the network by this step."""
+        return sum(t.size_bytes for t in self.transfers if not t.is_noop)
+
+
+@dataclass
+class MigrationPlan:
+    """A complete, ordered context-migration plan."""
+
+    steps: List[MigrationStep]
+    layer_order: List[int]
+    total_time: float
+    stall_time: float
+    peak_buffer_bytes: float
+    storage_load_time: float
+    total_bytes: float
+    remote_bytes: float
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing needs to move."""
+        return self.total_bytes <= 0 and self.storage_load_time <= 0
+
+    @property
+    def migration_time(self) -> float:
+        """``T_mig``: the serving stall the interruption arranger budgets for."""
+        return self.stall_time + self.storage_load_time
+
+
+class MigrationPlanner:
+    """Implements Algorithm 2 (progressive + memory-optimised migration)."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        network: Optional[NetworkModel] = None,
+        max_buffer_bytes: float = DEFAULT_MIGRATION_BUFFER_BYTES,
+        memory_optimized: bool = True,
+        progressive: bool = True,
+        storage_bandwidth: float = DEFAULT_STORAGE_BANDWIDTH,
+        engine_restart_time: float = 10.0,
+    ) -> None:
+        self.model = model
+        self.network = network or NetworkModel()
+        self.max_buffer_bytes = max_buffer_bytes
+        self.memory_optimized = memory_optimized
+        self.progressive = progressive
+        self.storage_bandwidth = storage_bandwidth
+        self.engine_restart_time = engine_restart_time
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        meta_context: MetaContextManager,
+        mapping: DeviceMapping,
+        cache_requirements: Optional[Dict[int, Tuple[int, int, int]]] = None,
+    ) -> MigrationPlan:
+        """Build the migration plan for *mapping*.
+
+        Parameters
+        ----------
+        meta_context:
+            Current cluster context state (what every surviving GPU holds).
+        mapping:
+            Output of the device mapper: placement of devices at new positions.
+        cache_requirements:
+            ``new data index -> (old data index, batch_size, cached_tokens)``
+            for every new pipeline that resumes an interrupted batch.
+        """
+        cache_requirements = cache_requirements or {}
+        config = mapping.config
+        layer_steps = self._plan_layer_steps(meta_context, mapping)
+        cache_step = self._plan_cache_step(meta_context, mapping, cache_requirements)
+
+        layer_order = self._order_layers(layer_steps, mapping)
+        ordered_steps: List[MigrationStep] = []
+        if cache_step.transfers or cache_step.storage_bytes:
+            ordered_steps.append(cache_step)
+        stage_remaining = self._layers_per_stage(config)
+        for layer_index in layer_order:
+            step = layer_steps[layer_index]
+            stage = self._stage_of_layer(layer_index, config)
+            stage_remaining[stage] -= 1
+            if stage_remaining[stage] == 0:
+                step.stages_ready.append(stage)
+            ordered_steps.append(step)
+
+        return self._finalize(ordered_steps, layer_order, config)
+
+    def estimate_restart_plan(
+        self, config: ParallelConfig, gpus_per_instance: int = 4
+    ) -> MigrationPlan:
+        """Plan for a full restart with no context reuse (baseline behaviour).
+
+        Every instance loads its GPUs' model slices from storage in parallel
+        with the other instances and the engine is re-initialised; there is
+        nothing to overlap with serving.
+        """
+        per_gpu_bytes = self.model.total_param_bytes / (
+            config.pipeline_degree * config.tensor_degree
+        )
+        per_instance_bytes = per_gpu_bytes * min(gpus_per_instance, config.num_gpus)
+        load_time = per_instance_bytes / self.storage_bandwidth
+        stall = load_time + self.engine_restart_time
+        return MigrationPlan(
+            steps=[],
+            layer_order=[],
+            total_time=stall,
+            stall_time=stall,
+            peak_buffer_bytes=0.0,
+            storage_load_time=0.0,
+            total_bytes=0.0,
+            remote_bytes=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Step construction
+    # ------------------------------------------------------------------
+    def _plan_layer_steps(
+        self, meta_context: MetaContextManager, mapping: DeviceMapping
+    ) -> Dict[int, MigrationStep]:
+        config = mapping.config
+        steps: Dict[int, MigrationStep] = {
+            layer: MigrationStep(kind="weight", layer_index=layer)
+            for layer in range(self.model.num_layers)
+        }
+        holders = self._model_holders(meta_context)
+        for device_id, position in mapping.placement.items():
+            new_layers = self._stage_layers(position.stage_index, config.pipeline_degree)
+            new_interval = shard_interval(config.tensor_degree, position.shard_index)
+            own = self._own_model_interval(meta_context, device_id)
+            for layer in new_layers:
+                missing = self._subtract_interval(
+                    new_interval, own.get(layer) if own else None
+                )
+                for interval in missing:
+                    pieces = self._source_pieces(layer, interval, holders, device_id)
+                    for source, fraction in pieces:
+                        size = fraction * self.model.layer_param_bytes
+                        if size <= 0:
+                            continue
+                        if source is None:
+                            steps[layer].storage_bytes += size
+                        else:
+                            steps[layer].transfers.append(
+                                Transfer(
+                                    src=source,
+                                    dst=device_id,
+                                    size_bytes=size,
+                                    tag=f"model:layer{layer}",
+                                )
+                            )
+        return steps
+
+    def _plan_cache_step(
+        self,
+        meta_context: MetaContextManager,
+        mapping: DeviceMapping,
+        cache_requirements: Dict[int, Tuple[int, int, int]],
+    ) -> MigrationStep:
+        config = mapping.config
+        step = MigrationStep(kind="cache", layer_index=None)
+        if not cache_requirements:
+            return step
+        cache_holders = self._cache_holders(meta_context)
+        for new_data_index, (old_data_index, batch_size, cached_tokens) in cache_requirements.items():
+            if cached_tokens <= 0:
+                continue
+            per_layer_bytes = (
+                2.0
+                * self.model.hidden_size
+                * self.model.bytes_per_cache_element
+                * batch_size
+                * cached_tokens
+            )
+            for device_id, position in mapping.placement.items():
+                if position.data_index != new_data_index:
+                    continue
+                new_layers = self._stage_layers(position.stage_index, config.pipeline_degree)
+                new_interval = shard_interval(config.tensor_degree, position.shard_index)
+                own = self._own_cache_interval(meta_context, device_id, old_data_index)
+                for layer in new_layers:
+                    missing = self._subtract_interval(
+                        new_interval, own.get(layer) if own else None
+                    )
+                    for interval in missing:
+                        pieces = self._source_pieces(
+                            layer, interval, cache_holders.get(old_data_index, {}), device_id
+                        )
+                        for source, fraction in pieces:
+                            size = fraction * per_layer_bytes
+                            if size <= 0:
+                                continue
+                            if source is None:
+                                # Lost cache cannot be reloaded from storage;
+                                # it will simply be recomputed (not billed to
+                                # the migration plan).
+                                continue
+                            step.transfers.append(
+                                Transfer(
+                                    src=source,
+                                    dst=device_id,
+                                    size_bytes=size,
+                                    tag=f"cache:pipeline{new_data_index}",
+                                )
+                            )
+        return step
+
+    # ------------------------------------------------------------------
+    # Layer ordering (Algorithm 2)
+    # ------------------------------------------------------------------
+    def _order_layers(
+        self, layer_steps: Dict[int, MigrationStep], mapping: DeviceMapping
+    ) -> List[int]:
+        layers = list(range(self.model.num_layers))
+        if not self.memory_optimized:
+            return layers
+        usage: Dict[str, float] = {}
+        order: List[int] = []
+        deferred: List[int] = []
+        for layer in layers:
+            deltas = self._buffer_deltas(layer_steps[layer])
+            if self._within_budget(usage, deltas):
+                self._apply_deltas(usage, deltas)
+                order.append(layer)
+            else:
+                deferred.append(layer)
+        while deferred:
+            best_layer = None
+            best_peak = float("inf")
+            for layer in deferred:
+                peak = self._peak_after(usage, self._buffer_deltas(layer_steps[layer]))
+                if peak < best_peak:
+                    best_peak = peak
+                    best_layer = layer
+            assert best_layer is not None
+            self._apply_deltas(usage, self._buffer_deltas(layer_steps[best_layer]))
+            order.append(best_layer)
+            deferred.remove(best_layer)
+        return order
+
+    def _buffer_deltas(self, step: MigrationStep) -> Dict[str, float]:
+        """Net buffer-memory change per instance caused by one step."""
+        deltas: Dict[str, float] = {}
+        for transfer in step.transfers:
+            if transfer.is_noop:
+                continue
+            deltas[transfer.dst[0]] = deltas.get(transfer.dst[0], 0.0) + transfer.size_bytes
+            deltas[transfer.src[0]] = deltas.get(transfer.src[0], 0.0) - transfer.size_bytes
+        return deltas
+
+    def _within_budget(self, usage: Dict[str, float], deltas: Dict[str, float]) -> bool:
+        return all(
+            max(usage.get(instance, 0.0) + delta, 0.0) <= self.max_buffer_bytes
+            for instance, delta in deltas.items()
+        )
+
+    @staticmethod
+    def _apply_deltas(usage: Dict[str, float], deltas: Dict[str, float]) -> None:
+        for instance, delta in deltas.items():
+            usage[instance] = max(usage.get(instance, 0.0) + delta, 0.0)
+
+    @staticmethod
+    def _peak_after(usage: Dict[str, float], deltas: Dict[str, float]) -> float:
+        combined = dict(usage)
+        for instance, delta in deltas.items():
+            combined[instance] = max(combined.get(instance, 0.0) + delta, 0.0)
+        return max(combined.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Plan finalisation
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        steps: List[MigrationStep],
+        layer_order: List[int],
+        config: ParallelConfig,
+    ) -> MigrationPlan:
+        total_time = 0.0
+        stall_time = 0.0
+        storage_bytes = 0.0
+        total_bytes = 0.0
+        remote_bytes = 0.0
+        usage: Dict[str, float] = {}
+        peak = 0.0
+        first_stage_ready_time: Optional[float] = None
+        all_stages = set(range(config.pipeline_degree))
+        stages_seen: set = set()
+
+        for step in steps:
+            duration = self.network.batch_time(step.transfers)
+            total_time += duration
+            total_bytes += step.total_bytes
+            remote_bytes += self.network.remote_bytes(step.transfers)
+            storage_bytes += step.storage_bytes
+            self._apply_deltas(usage, self._buffer_deltas(step))
+            peak = max(peak, max(usage.values(), default=0.0))
+            for stage in step.stages_ready:
+                stages_seen.add(stage)
+                if stage == 0 and first_stage_ready_time is None:
+                    first_stage_ready_time = total_time
+
+        if self.progressive and first_stage_ready_time is not None:
+            # Serving resumes once the cache and the first stage are in place;
+            # the remaining stages migrate while the pipeline refills.
+            stall_time = first_stage_ready_time
+        else:
+            stall_time = total_time
+        if not steps:
+            stall_time = 0.0
+
+        storage_load_time = self._storage_time(storage_bytes, max(config.num_gpus, 1))
+        return MigrationPlan(
+            steps=steps,
+            layer_order=layer_order,
+            total_time=total_time,
+            stall_time=stall_time,
+            peak_buffer_bytes=peak,
+            storage_load_time=storage_load_time,
+            total_bytes=total_bytes,
+            remote_bytes=remote_bytes,
+        )
+
+    def _storage_time(self, storage_bytes: float, parallelism: int) -> float:
+        """Time to fetch *storage_bytes* from cloud storage.
+
+        ``parallelism`` is the number of GPUs receiving data; roughly one
+        quarter of them (one per 4-GPU instance) can stream from storage
+        concurrently at the per-instance bandwidth.
+        """
+        if storage_bytes <= 0:
+            return 0.0
+        concurrent_instances = max(parallelism // 4, 1)
+        effective = self.storage_bandwidth * concurrent_instances
+        return storage_bytes / max(effective, 1.0)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def _stage_layers(self, stage_index: int, pipeline_degree: int) -> List[int]:
+        start, end = stage_layer_range(self.model.num_layers, pipeline_degree, stage_index)
+        return [layer for layer in range(self.model.num_layers) if start <= layer < end]
+
+    def _stage_of_layer(self, layer_index: int, config: ParallelConfig) -> int:
+        layers_per_stage = self.model.num_layers / config.pipeline_degree
+        return min(int(layer_index / layers_per_stage), config.pipeline_degree - 1)
+
+    def _layers_per_stage(self, config: ParallelConfig) -> Dict[int, int]:
+        counts: Dict[int, int] = {stage: 0 for stage in range(config.pipeline_degree)}
+        for layer in range(self.model.num_layers):
+            counts[self._stage_of_layer(layer, config)] += 1
+        return counts
+
+    def _own_model_interval(
+        self, meta_context: MetaContextManager, device_id: DeviceId
+    ) -> Dict[int, Tuple[float, float]]:
+        """Layer -> shard interval the device already holds (model context)."""
+        daemon = meta_context.daemon(device_id)
+        ctx = daemon.model_context
+        if ctx is None:
+            return {}
+        layers = self._stage_layers(ctx.position.stage_index, ctx.pipeline_degree)
+        interval = shard_interval(ctx.tensor_degree, ctx.position.shard_index)
+        return {layer: interval for layer in layers}
+
+    def _own_cache_interval(
+        self, meta_context: MetaContextManager, device_id: DeviceId, old_data_index: int
+    ) -> Dict[int, Tuple[float, float]]:
+        daemon = meta_context.daemon(device_id)
+        ctx = daemon.cache_context
+        if ctx is None or ctx.position.data_index != old_data_index:
+            return {}
+        layers = self._stage_layers(ctx.position.stage_index, ctx.pipeline_degree)
+        interval = shard_interval(ctx.tensor_degree, ctx.position.shard_index)
+        return {layer: interval for layer in layers}
+
+    def _model_holders(
+        self, meta_context: MetaContextManager
+    ) -> Dict[int, List[Tuple[Tuple[float, float], DeviceId]]]:
+        """Layer -> list of (shard interval, device) currently holding it."""
+        holders: Dict[int, List[Tuple[Tuple[float, float], DeviceId]]] = {}
+        for device_id in meta_context.devices():
+            daemon = meta_context.daemon(device_id)
+            ctx = daemon.model_context
+            if ctx is None:
+                continue
+            layers = self._stage_layers(ctx.position.stage_index, ctx.pipeline_degree)
+            interval = shard_interval(ctx.tensor_degree, ctx.position.shard_index)
+            for layer in layers:
+                holders.setdefault(layer, []).append((interval, device_id))
+        return holders
+
+    def _cache_holders(
+        self, meta_context: MetaContextManager
+    ) -> Dict[int, Dict[int, List[Tuple[Tuple[float, float], DeviceId]]]]:
+        """Old data index -> layer -> holders of that pipeline's cache."""
+        holders: Dict[int, Dict[int, List[Tuple[Tuple[float, float], DeviceId]]]] = {}
+        for device_id in meta_context.devices():
+            daemon = meta_context.daemon(device_id)
+            ctx = daemon.cache_context
+            if ctx is None:
+                continue
+            layers = self._stage_layers(ctx.position.stage_index, ctx.pipeline_degree)
+            interval = shard_interval(ctx.tensor_degree, ctx.position.shard_index)
+            per_pipeline = holders.setdefault(ctx.position.data_index, {})
+            for layer in layers:
+                per_pipeline.setdefault(layer, []).append((interval, device_id))
+        return holders
+
+    def _source_pieces(
+        self,
+        layer: int,
+        needed: Tuple[float, float],
+        holders: Dict[int, List[Tuple[Tuple[float, float], DeviceId]]],
+        destination: DeviceId,
+    ) -> List[Tuple[Optional[DeviceId], float]]:
+        """Split a needed shard interval into (source, fraction) pieces.
+
+        Sources on the same instance as *destination* are preferred (cheaper
+        transfers); portions nobody holds are attributed to storage
+        (``source=None``).
+        """
+        pieces: List[Tuple[Optional[DeviceId], float]] = []
+        remaining = [needed]
+        candidates = sorted(
+            holders.get(layer, []),
+            key=lambda item: (item[1][0] != destination[0], item[1]),
+        )
+        for interval, device_id in candidates:
+            if not remaining:
+                break
+            next_remaining: List[Tuple[float, float]] = []
+            for segment in remaining:
+                overlap_start = max(segment[0], interval[0])
+                overlap_end = min(segment[1], interval[1])
+                if overlap_end > overlap_start:
+                    pieces.append((device_id, overlap_end - overlap_start))
+                    if segment[0] < overlap_start:
+                        next_remaining.append((segment[0], overlap_start))
+                    if overlap_end < segment[1]:
+                        next_remaining.append((overlap_end, segment[1]))
+                else:
+                    next_remaining.append(segment)
+            remaining = next_remaining
+        for segment in remaining:
+            width = segment[1] - segment[0]
+            if width > 0:
+                pieces.append((None, width))
+        return pieces
+
+    @staticmethod
+    def _subtract_interval(
+        needed: Tuple[float, float], owned: Optional[Tuple[float, float]]
+    ) -> List[Tuple[float, float]]:
+        """Portions of *needed* not covered by *owned*."""
+        if owned is None:
+            return [needed]
+        result: List[Tuple[float, float]] = []
+        if owned[0] > needed[0]:
+            result.append((needed[0], min(owned[0], needed[1])))
+        if owned[1] < needed[1]:
+            result.append((max(owned[1], needed[0]), needed[1]))
+        return [segment for segment in result if segment[1] - segment[0] > 1e-12]

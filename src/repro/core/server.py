@@ -1,0 +1,931 @@
+"""Serving systems: the shared event-driven skeleton and SpotServe itself.
+
+:class:`ServingSystemBase` provides the machinery every serving system in the
+reproduction shares -- request queueing, batch dispatch, pipeline lifecycle,
+statistics -- wired to the discrete-event simulator and the simulated cloud
+provider.  :class:`SpotServeSystem` implements the paper's system on top of
+it: the parallelization controller (Algorithm 1), the KM device mapper, the
+progressive/memory-optimised migration planner (Algorithm 2) and stateful
+inference recovery with the JIT interruption arranger.  The baselines in
+:mod:`repro.baselines` subclass the same base so that every system sees the
+identical workload, trace and inference engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..cloud.instance import Instance
+from ..cloud.manager import InstanceManager
+from ..cloud.provider import CloudProvider
+from ..engine.batching import Batch, RequestQueue
+from ..engine.context import DeviceId, MetaContextManager
+from ..engine.pipeline import InferencePipeline, PipelineAssignment
+from ..engine.placement import TopologyPosition, mesh_positions
+from ..llm.costmodel import DEFAULT_INPUT_LENGTH, DEFAULT_OUTPUT_LENGTH, LatencyModel
+from ..llm.memory import DEFAULT_MIGRATION_BUFFER_BYTES, MemoryModel
+from ..llm.profiler import OfflineProfiler
+from ..llm.spec import ModelSpec
+from ..sim.engine import Simulator
+from ..sim.events import Event, EventType
+from ..sim.network import NetworkModel
+from ..workload.request import Request
+from .config import ConfigurationSpace, ParallelConfig
+from .controller import OptimizerDecision, ParallelizationController
+from .device_mapper import DeviceMapper, DeviceMapping
+from .interruption import InterruptionArranger
+from .migration import MigrationPlan, MigrationPlanner
+from .stats import ReconfigurationRecord, ServingStats
+
+
+@dataclass
+class SpotServeOptions:
+    """Feature switches and tunables of the SpotServe system.
+
+    The boolean switches correspond one-to-one to the components removed in
+    the paper's ablation study (Figure 9).
+    """
+
+    #: Dynamically re-optimise the parallel configuration (Algorithm 1).
+    adaptive_controller: bool = True
+    #: Use Kuhn-Munkres optimal matching in the device mapper (vs. arbitrary).
+    optimal_device_mapping: bool = True
+    #: Use the hierarchical (intra-/inter-instance) two-step matching.
+    hierarchical_mapping: bool = True
+    #: Order layer migration under the U_max buffer bound (Algorithm 2).
+    memory_optimized_migration: bool = True
+    #: Overlap migration with serving by front-loading early pipeline stages.
+    progressive_migration: bool = True
+    #: Token-level commit + KV-cache migration (stateful inference recovery).
+    stateful_recovery: bool = True
+    #: Allow mixing on-demand instances when spot capacity is insufficient.
+    allow_on_demand: bool = False
+    #: Upper bound on extra on-demand instances the controller may request.
+    max_on_demand_extra: int = 4
+    #: Spare instances kept as a substitution pool when releasing capacity.
+    candidate_pool_size: int = 2
+    #: Seconds between workload re-evaluations (also the arrival-rate window).
+    workload_check_interval: float = 30.0
+    #: Engine process launch time on an instance that never served before.
+    engine_launch_time: float = 30.0
+    #: Migration buffer bound ``U_max`` per instance, bytes.
+    max_buffer_bytes: float = DEFAULT_MIGRATION_BUFFER_BYTES
+    #: Optional latency SLO passed to the configuration optimizer.
+    slo_latency: Optional[float] = None
+
+
+class ServingSystemBase:
+    """Shared machinery for every serving system in the reproduction."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        provider: CloudProvider,
+        model: ModelSpec,
+        options: Optional[SpotServeOptions] = None,
+        latency_model: Optional[LatencyModel] = None,
+        memory_model: Optional[MemoryModel] = None,
+        network: Optional[NetworkModel] = None,
+        input_length: int = DEFAULT_INPUT_LENGTH,
+        output_length: int = DEFAULT_OUTPUT_LENGTH,
+        initial_arrival_rate: float = 0.35,
+    ) -> None:
+        self.simulator = simulator
+        self.provider = provider
+        self.model = model
+        self.options = options or SpotServeOptions()
+        self.latency_model = latency_model or LatencyModel(model, provider.instance_type.gpu)
+        self.memory_model = memory_model or MemoryModel(model, provider.instance_type.gpu)
+        self.network = network or NetworkModel()
+        self.input_length = input_length
+        self.output_length = output_length
+        self.initial_arrival_rate = initial_arrival_rate
+        self.gpus_per_instance = provider.instance_type.gpus_per_instance
+
+        self.instance_manager = InstanceManager(
+            provider,
+            allow_on_demand=self.options.allow_on_demand,
+            candidate_pool_size=self.options.candidate_pool_size,
+        )
+        self.meta_context = MetaContextManager(model)
+        self.request_queue = RequestQueue(max_batch_size=8)
+        self.stats = ServingStats(system_name=self.name)
+
+        self.profiler = OfflineProfiler(
+            self.latency_model,
+            self.memory_model,
+            input_length=input_length,
+            output_length=output_length,
+        )
+        self.config_space = ConfigurationSpace(
+            model,
+            self.memory_model,
+            gpus_per_instance=self.gpus_per_instance,
+        )
+        self.controller = ParallelizationController(
+            self.config_space, self.profiler, slo_latency=self.options.slo_latency
+        )
+
+        self.current_config: Optional[ParallelConfig] = None
+        self.pipelines: List[InferencePipeline] = []
+        self._completion_events: Dict[int, Event] = {}
+        self._resume_batches: Deque[Batch] = deque()
+        self._arrival_times: Deque[float] = deque()
+        self._initialized_instances: set = set()
+        self._migration_until: float = 0.0
+        self._reconfig_pending: bool = False
+        self._replan_after_migration: bool = False
+        self._pending_deadlines: Dict[str, float] = {}
+
+        self._register_handlers()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _register_handlers(self) -> None:
+        self.simulator.on(EventType.REQUEST_ARRIVAL, self._on_request_arrival)
+        self.simulator.on(EventType.PREEMPTION_NOTICE, self._on_preemption_notice)
+        self.simulator.on(EventType.PREEMPTION_FINAL, self._on_preemption_final)
+        self.simulator.on(EventType.ACQUISITION_READY, self._on_acquisition_ready)
+        self.simulator.on(EventType.BATCH_COMPLETION, self._on_batch_completion)
+        self.simulator.on(EventType.RECONFIGURATION, self._on_reconfiguration)
+        self.simulator.on(EventType.MIGRATION_COMPLETE, self._on_migration_complete)
+        self.simulator.on(EventType.WORKLOAD_CHECK, self._on_workload_check)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit_requests(self, requests: Sequence[Request]) -> None:
+        """Schedule arrival events for *requests*."""
+        for request in requests:
+            self.simulator.schedule_at(
+                request.arrival_time,
+                EventType.REQUEST_ARRIVAL,
+                payload={"request": request},
+            )
+
+    def initialize(self) -> None:
+        """Deploy the initial configuration on the time-zero fleet (pre-warmed)."""
+        self.instance_manager.adopt_initial_fleet()
+        for instance in self.instance_manager.held_instances():
+            self._initialized_instances.add(instance.instance_id)
+        config = self._initial_config()
+        if config is not None:
+            devices = self._available_devices()
+            placement = self._default_placement(config, devices)
+            self._install_model_contexts(config, placement)
+            self._build_pipelines(config, placement)
+            self.current_config = config
+            self.stats.record_config(0.0, config)
+        if self.options.workload_check_interval > 0:
+            self.simulator.schedule_after(
+                self.options.workload_check_interval, EventType.WORKLOAD_CHECK
+            )
+
+    def run(self, until: float) -> ServingStats:
+        """Initialise (if needed), run the simulation and return the statistics."""
+        if self.current_config is None and not self.pipelines and self.simulator.now == 0.0:
+            self.initialize()
+        self.simulator.run(until=until)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Hooks that subclasses specialise
+    # ------------------------------------------------------------------
+    def _initial_config(self) -> Optional[ParallelConfig]:
+        decision = self.controller.propose(
+            self.instance_manager.available_count(), self.initial_arrival_rate
+        )
+        return decision.config if decision else None
+
+    def handle_preemption_notice(self, instance: Instance, deadline: float) -> None:
+        """React to a preemption notice (subclasses override)."""
+
+    def handle_preemption_final(self, instance: Instance) -> None:
+        """React to an instance disappearing (subclasses override)."""
+
+    def handle_acquisition_ready(self, instance: Instance) -> None:
+        """React to a new instance becoming usable (subclasses override)."""
+
+    def handle_workload_check(self) -> None:
+        """Periodic workload re-evaluation (subclasses override)."""
+
+    # ------------------------------------------------------------------
+    # Event handlers (shared bookkeeping, then delegate to hooks)
+    # ------------------------------------------------------------------
+    def _on_request_arrival(self, event: Event) -> None:
+        request: Request = event.payload["request"]
+        self._arrival_times.append(request.arrival_time)
+        self.request_queue.enqueue(request)
+        self._dispatch()
+
+    def _on_preemption_notice(self, event: Event) -> None:
+        instance: Instance = event.payload["instance"]
+        deadline: float = event.payload["deadline"]
+        self.stats.preemption_notices += 1
+        self.instance_manager.on_preemption_notice(event)
+        self._pending_deadlines[instance.instance_id] = deadline
+        self.handle_preemption_notice(instance, deadline)
+
+    def _on_preemption_final(self, event: Event) -> None:
+        instance: Instance = event.payload["instance"]
+        self.instance_manager.on_preemption_final(event)
+        self._pending_deadlines.pop(instance.instance_id, None)
+        self.handle_preemption_final(instance)
+        self.meta_context.drop_instance(instance.instance_id)
+
+    def _on_acquisition_ready(self, event: Event) -> None:
+        instance: Instance = event.payload["instance"]
+        self.stats.acquisitions += 1
+        self.instance_manager.on_acquisition_ready(event)
+        self.handle_acquisition_ready(instance)
+
+    def _on_workload_check(self, event: Event) -> None:
+        self.handle_workload_check()
+        if self.options.workload_check_interval > 0:
+            self.simulator.schedule_after(
+                self.options.workload_check_interval, EventType.WORKLOAD_CHECK
+            )
+
+    def _on_batch_completion(self, event: Event) -> None:
+        pipeline: InferencePipeline = event.payload["pipeline"]
+        batch: Batch = event.payload["batch"]
+        if pipeline.current_batch is not batch:
+            return  # The batch was interrupted before completing.
+        completed = pipeline.complete_batch(event.time)
+        self._completion_events.pop(id(pipeline), None)
+        self.stats.tokens_generated += completed.output_tokens * completed.size
+        for request in completed.requests:
+            self.stats.record_completion(request)
+        self._clear_cache_context(pipeline)
+        self._dispatch()
+
+    def _on_reconfiguration(self, event: Event) -> None:
+        self._execute_reconfiguration_event(event)
+
+    def _on_migration_complete(self, event: Event) -> None:
+        self._finish_reconfiguration(event)
+
+    # ------------------------------------------------------------------
+    # Arrival-rate estimation
+    # ------------------------------------------------------------------
+    def estimate_arrival_rate(self) -> float:
+        """Demanded serving rate: recent arrivals plus backlog pressure.
+
+        The paper estimates ``alpha_t`` "by observing the request arrivals
+        within a short past duration"; with the CV=6 Gamma workload a single
+        30 s window is far too noisy, so a longer window is used and the
+        requests already waiting in the queue add drain pressure (otherwise a
+        configuration that exactly matches the arrival rate would never catch
+        up after a stall).
+        """
+        short_window = max(4.0 * self.options.workload_check_interval, 120.0)
+        long_window = 3.0 * short_window
+        now = self.simulator.now
+        while self._arrival_times and self._arrival_times[0] < now - 2 * long_window:
+            self._arrival_times.popleft()
+
+        def rate_over(window: float) -> float:
+            span = min(window, max(now, 1.0))
+            recent = sum(1 for t in self._arrival_times if t >= now - window)
+            observed = recent / span
+            if now < window:
+                observed = max(observed, self.initial_arrival_rate)
+            return observed
+
+        # The short window reacts to ramps quickly; the long window keeps a
+        # quiet burst gap from looking like a workload collapse.
+        observed = max(rate_over(short_window), rate_over(long_window))
+        backlog_pressure = self.request_queue.pending / short_window
+        return max(observed + backlog_pressure, 1e-3)
+
+    # ------------------------------------------------------------------
+    # Device / placement helpers
+    # ------------------------------------------------------------------
+    def _available_devices(self) -> List[DeviceId]:
+        devices: List[DeviceId] = []
+        for instance in sorted(
+            self.instance_manager.stable_instances(), key=lambda inst: inst.instance_id
+        ):
+            devices.extend(instance.gpu_ids)
+        return devices
+
+    def _default_placement(
+        self, config: ParallelConfig, devices: Sequence[DeviceId]
+    ) -> Dict[DeviceId, TopologyPosition]:
+        positions = mesh_positions(
+            config.data_degree, config.pipeline_degree, config.tensor_degree
+        )
+        if len(devices) < len(positions):
+            raise ValueError(
+                f"not enough devices ({len(devices)}) for configuration {config}"
+            )
+        return {device: position for device, position in zip(devices, positions)}
+
+    def _install_model_contexts(
+        self, config: ParallelConfig, placement: Dict[DeviceId, TopologyPosition]
+    ) -> None:
+        for device_id, position in placement.items():
+            self.meta_context.daemon(device_id).install_model_context(
+                config.pipeline_degree, config.tensor_degree, position
+            )
+
+    def _build_pipelines(
+        self, config: ParallelConfig, placement: Dict[DeviceId, TopologyPosition]
+    ) -> None:
+        assignments: Dict[int, PipelineAssignment] = {}
+        for data_index in range(config.data_degree):
+            assignments[data_index] = PipelineAssignment(
+                pipeline_index=data_index,
+                pipeline_degree=config.pipeline_degree,
+                tensor_degree=config.tensor_degree,
+            )
+        for device_id, position in placement.items():
+            assignment = assignments.get(position.data_index)
+            if assignment is not None:
+                assignment.devices[position] = device_id
+        self.pipelines = [
+            InferencePipeline(assignments[d], self.latency_model, config.batch_size)
+            for d in range(config.data_degree)
+        ]
+        self.request_queue.max_batch_size = config.batch_size
+
+    def _clear_cache_context(self, pipeline: InferencePipeline) -> None:
+        for device_id in pipeline.assignment.device_ids:
+            self.meta_context.daemon(device_id).clear_cache_context()
+
+    def _store_cache_context(self, pipeline: InferencePipeline, batch: Batch) -> None:
+        """Record the interrupted batch's KV cache in the pipeline's daemons."""
+        if self.current_config is None:
+            return
+        for device_id in pipeline.assignment.device_ids:
+            position = None
+            for pos, dev in pipeline.assignment.devices.items():
+                if dev == device_id:
+                    position = pos
+                    break
+            if position is None:
+                continue
+            self.meta_context.daemon(device_id).install_cache_context(
+                self.current_config.pipeline_degree,
+                self.current_config.tensor_degree,
+                position,
+                batch.size,
+                self.input_length + batch.committed_tokens,
+                batch.batch_id,
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _serving_available(self) -> bool:
+        return bool(self.pipelines) and self.simulator.now >= self._migration_until
+
+    def _dispatch(self) -> None:
+        if not self._serving_available():
+            return
+        for pipeline in self.pipelines:
+            if pipeline.is_busy:
+                continue
+            batch, resume = self._next_batch_for(pipeline)
+            if batch is None:
+                break
+            self._start_batch_on(pipeline, batch, resume)
+
+    def _next_batch_for(self, pipeline: InferencePipeline) -> Tuple[Optional[Batch], bool]:
+        if self._resume_batches:
+            batch = self._resume_batches.popleft()
+            max_size = self.current_config.batch_size if self.current_config else batch.size
+            if batch.size > max_size:
+                # The new configuration cannot hold the whole batch: drop its
+                # cache and requeue the member requests.
+                batch.drop_cache()
+                self.request_queue.enqueue_front(batch.requests)
+                self.stats.rerouted_batches += 1
+                return self._next_batch_for(pipeline)
+            return batch, batch.cache_preserved and batch.committed_tokens > 0
+        batch = self.request_queue.next_batch(
+            self.current_config.batch_size if self.current_config else None
+        )
+        if batch is None:
+            return None, False
+        return batch, False
+
+    def _start_batch_on(self, pipeline: InferencePipeline, batch: Batch, resume: bool) -> None:
+        finish_time = pipeline.start_batch(batch, self.simulator.now, resume=resume)
+        event = self.simulator.schedule_at(
+            finish_time,
+            EventType.BATCH_COMPLETION,
+            payload={"pipeline": pipeline, "batch": batch},
+        )
+        self._completion_events[id(pipeline)] = event
+
+    def _interrupt_all_pipelines(self, preserve_cache: bool) -> List[Batch]:
+        """Interrupt every busy pipeline, returning the interrupted batches."""
+        interrupted: List[Batch] = []
+        now = self.simulator.now
+        for pipeline in self.pipelines:
+            event = self._completion_events.pop(id(pipeline), None)
+            if event is not None:
+                event.cancel()
+            if not pipeline.is_busy:
+                continue
+            batch = pipeline.interrupt(now, preserve_cache=preserve_cache)
+            if batch is None:
+                continue
+            self.stats.interrupted_batches += 1
+            if preserve_cache and batch.committed_tokens > 0:
+                self._store_cache_context(pipeline, batch)
+                batch.cache_preserved = True
+            else:
+                batch.cache_preserved = False
+            interrupted.append(batch)
+        return interrupted
+
+    def _halt_serving(self, preserve_cache: bool) -> None:
+        """Stop serving entirely (no feasible configuration remains)."""
+        interrupted = self._interrupt_all_pipelines(preserve_cache)
+        for batch in interrupted:
+            if preserve_cache and batch.cache_preserved:
+                self._resume_batches.append(batch)
+            else:
+                batch.drop_cache()
+                self.request_queue.enqueue_front(batch.requests)
+        self.pipelines = []
+        self.current_config = None
+
+    # ------------------------------------------------------------------
+    # Reconfiguration plumbing shared by SpotServe and the baselines
+    # ------------------------------------------------------------------
+    def _schedule_reconfiguration(
+        self,
+        new_config: ParallelConfig,
+        placement: Dict[DeviceId, TopologyPosition],
+        stall_time: float,
+        stop_time: float,
+        reason: str,
+        preserve_cache: bool,
+        migrated_bytes: float = 0.0,
+        reused_bytes: float = 0.0,
+        objective: str = "",
+    ) -> None:
+        if self._reconfig_pending:
+            self._replan_after_migration = True
+            return
+        self._reconfig_pending = True
+        self.simulator.schedule_at(
+            max(stop_time, self.simulator.now),
+            EventType.RECONFIGURATION,
+            payload={
+                "new_config": new_config,
+                "placement": placement,
+                "stall_time": stall_time,
+                "reason": reason,
+                "preserve_cache": preserve_cache,
+                "migrated_bytes": migrated_bytes,
+                "reused_bytes": reused_bytes,
+                "objective": objective,
+            },
+        )
+
+    def _execute_reconfiguration_event(self, event: Event) -> None:
+        payload = event.payload
+        new_config: ParallelConfig = payload["new_config"]
+        preserve_cache: bool = payload["preserve_cache"]
+        stall_time: float = payload["stall_time"]
+        now = self.simulator.now
+
+        interrupted = self._interrupt_all_pipelines(preserve_cache)
+        # Keep the batches with the most decoding progress if the new
+        # configuration holds fewer concurrent requests (Section 3.3).
+        capacity = new_config.data_degree
+        kept, discarded = DeviceMapper.select_batches_to_keep(interrupted, capacity)
+        for batch in kept:
+            self._resume_batches.append(batch)
+        for batch in discarded:
+            batch.drop_cache()
+            self.request_queue.enqueue_front(batch.requests)
+            self.stats.rerouted_batches += 1
+
+        old_config = self.current_config
+        self.pipelines = []
+        self._migration_until = now + stall_time
+        self.stats.record_reconfiguration(
+            ReconfigurationRecord(
+                time=now,
+                old_config=old_config,
+                new_config=new_config,
+                reason=payload["reason"],
+                stall_time=stall_time,
+                migrated_bytes=payload["migrated_bytes"],
+                reused_bytes=payload["reused_bytes"],
+                objective=payload["objective"],
+            )
+        )
+        self.simulator.schedule_at(
+            self._migration_until,
+            EventType.MIGRATION_COMPLETE,
+            payload={"new_config": new_config, "placement": payload["placement"]},
+        )
+
+    def _finish_reconfiguration(self, event: Event) -> None:
+        new_config: ParallelConfig = event.payload["new_config"]
+        placement: Dict[DeviceId, TopologyPosition] = event.payload["placement"]
+        live_devices = set(self._available_devices())
+        placement = {
+            device: position
+            for device, position in placement.items()
+            if device in live_devices
+        }
+        self._install_model_contexts(new_config, placement)
+        self._build_pipelines(new_config, placement)
+        self.current_config = new_config
+        for instance in self.instance_manager.held_instances():
+            self._initialized_instances.add(instance.instance_id)
+        self._reconfig_pending = False
+        self._dispatch()
+        if self._replan_after_migration:
+            self._replan_after_migration = False
+            self.handle_replan()
+
+    def handle_replan(self) -> None:
+        """Re-evaluate the deployment after a deferred trigger (subclasses override)."""
+        self.handle_workload_check()
+
+
+class SpotServeSystem(ServingSystemBase):
+    """The SpotServe serving system (the paper's contribution)."""
+
+    name = "SpotServe"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.device_mapper = DeviceMapper(
+            self.model,
+            gpus_per_instance=self.gpus_per_instance,
+            use_optimal_matching=self.options.optimal_device_mapping,
+            hierarchical=self.options.hierarchical_mapping,
+        )
+        self.migration_planner = MigrationPlanner(
+            self.model,
+            self.network,
+            max_buffer_bytes=self.options.max_buffer_bytes,
+            memory_optimized=self.options.memory_optimized_migration,
+            progressive=self.options.progressive_migration,
+        )
+        self.interruption_arranger = InterruptionArranger(self.latency_model)
+        self._downscale_votes = 0
+        if self.options.memory_optimized_migration:
+            migration_buffer = self.options.max_buffer_bytes
+        else:
+            # Without the memory-optimised planner the receive buffer can grow
+            # to half of a GPU's model slice, shrinking the feasible space
+            # (this is what pushes GPT-20B from 12 back to 16 GPUs).
+            migration_buffer = self.model.total_param_bytes / 16
+        self.config_space.migration_buffer_bytes = migration_buffer
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def handle_preemption_notice(self, instance: Instance, deadline: float) -> None:
+        self._plan_reconfiguration(reason="preemption", deadline=deadline)
+
+    def handle_preemption_final(self, instance: Instance) -> None:
+        # If the instance is still referenced by a running pipeline (the
+        # reconfiguration did not finish in time), interrupt those pipelines
+        # and requeue their requests without the lost cache.
+        affected = [p for p in self.pipelines if p.uses_instance(instance.instance_id)]
+        if not affected:
+            return
+        now = self.simulator.now
+        for pipeline in affected:
+            event = self._completion_events.pop(id(pipeline), None)
+            if event is not None:
+                event.cancel()
+            batch = pipeline.interrupt(now, preserve_cache=False)
+            if batch is not None:
+                batch.drop_cache()
+                self.request_queue.enqueue_front(batch.requests)
+                self.stats.rerouted_batches += 1
+        self.pipelines = [p for p in self.pipelines if not p.uses_instance(instance.instance_id)]
+        self._plan_reconfiguration(reason="preemption-final")
+
+    def handle_acquisition_ready(self, instance: Instance) -> None:
+        self._plan_reconfiguration(reason="acquisition")
+
+    def handle_replan(self) -> None:
+        self._plan_reconfiguration(reason="followup")
+
+    def handle_workload_check(self) -> None:
+        if not self.options.adaptive_controller:
+            return
+        decision = self._propose()
+        if decision is None:
+            return
+        if self.current_config is None:
+            self._plan_reconfiguration(reason="workload")
+            return
+        if decision.config == self.current_config:
+            self._downscale_votes = 0
+            return
+        arrival_rate = self.estimate_arrival_rate()
+        current_estimate = self.controller.estimate(self.current_config, arrival_rate)
+        overloaded = current_estimate.throughput < arrival_rate
+        if overloaded:
+            # The serving capability is incompatible with the workload: act now.
+            self._downscale_votes = 0
+            self._plan_reconfiguration(reason="workload")
+            return
+        shrinking = decision.estimate.throughput < current_estimate.throughput
+        if shrinking:
+            # Hysteresis: only shed capacity after several consecutive checks
+            # agree, so a single quiet burst gap does not trigger a shrink.
+            self._downscale_votes += 1
+            if self._downscale_votes < 3:
+                return
+            self._downscale_votes = 0
+            self._plan_reconfiguration(reason="workload")
+            return
+        # Neither overloaded nor shrinking: only act on clear latency wins so
+        # the system does not churn between near-equivalent configurations.
+        self._downscale_votes = 0
+        if decision.estimate.request_latency < 0.9 * current_estimate.request_latency:
+            self._plan_reconfiguration(reason="workload")
+
+    # ------------------------------------------------------------------
+    # Reconfiguration planning
+    # ------------------------------------------------------------------
+    def _propose(self) -> Optional[OptimizerDecision]:
+        available = self.instance_manager.available_count()
+        if available <= 0:
+            return None
+        arrival_rate = self.estimate_arrival_rate()
+        extra = self.options.max_on_demand_extra if self.options.allow_on_demand else 0
+        return self.controller.propose(
+            available, arrival_rate, max_instances=available + extra
+        )
+
+    def _plan_reconfiguration(self, reason: str, deadline: Optional[float] = None) -> None:
+        if self._reconfig_pending:
+            self._replan_after_migration = True
+            return
+        now = self.simulator.now
+        available = self.instance_manager.available_count()
+        arrival_rate = self.estimate_arrival_rate()
+
+        if available <= 0:
+            self._halt_serving(preserve_cache=self.options.stateful_recovery)
+            return
+
+        if self.options.adaptive_controller:
+            decision = self._propose()
+        else:
+            decision = self._static_decision(available, arrival_rate)
+        if decision is None:
+            self._halt_serving(preserve_cache=self.options.stateful_recovery)
+            return
+
+        # Deploy the best configuration that fits the instances usable *now*.
+        target = decision
+        if decision.config.num_instances(self.gpus_per_instance) > available:
+            fallback = (
+                self.controller.propose(available, arrival_rate)
+                if self.options.adaptive_controller
+                else self._static_decision(available, arrival_rate)
+            )
+            if fallback is None:
+                self._halt_serving(preserve_cache=self.options.stateful_recovery)
+                return
+            target = fallback
+
+        target = self._apply_sticky_policy(target, reason, available, arrival_rate)
+
+        # Ask the instance manager to grow / shrink the fleet (Algorithm 1,
+        # lines 6-10).  Growth follows the optimizer's ideal configuration but
+        # is capped by the on-demand budget (counting instances that are still
+        # launching, so repeated triggers do not over-allocate); shrinking
+        # follows what is actually being deployed so spare spot capacity is
+        # not released while it is still useful.
+        if decision.instance_delta > 0:
+            budget = decision.instance_delta
+            if self.options.allow_on_demand:
+                budget = min(
+                    budget,
+                    max(
+                        self.options.max_on_demand_extra
+                        - self.instance_manager.on_demand_alive(),
+                        0,
+                    ),
+                )
+            if budget > 0:
+                self.instance_manager.alloc(budget)
+        else:
+            release = available - target.config.num_instances(self.gpus_per_instance)
+            if release > 0:
+                self.instance_manager.free(release)
+
+        new_config = target.config
+        if self._can_skip_reconfiguration(new_config, reason):
+            return
+
+        placement, stall_time, stop_time, migrated, reused, preserve = self._prepare_transition(
+            new_config, reason
+        )
+        self._schedule_reconfiguration(
+            new_config=new_config,
+            placement=placement,
+            stall_time=stall_time,
+            stop_time=stop_time,
+            reason=reason,
+            preserve_cache=preserve,
+            migrated_bytes=migrated,
+            reused_bytes=reused,
+            objective=target.objective,
+        )
+
+    def _apply_sticky_policy(
+        self,
+        target: OptimizerDecision,
+        reason: str,
+        available: int,
+        arrival_rate: float,
+    ) -> OptimizerDecision:
+        """Keep the current configuration when shrinking is not forced.
+
+        Availability-triggered events (preemptions, acquisitions) never shrink
+        the deployment's throughput on their own: capacity is only shed by the
+        workload checks, which apply hysteresis.  This prevents a quiet burst
+        gap from releasing spot instances right before the next burst.
+        """
+        if (
+            reason == "workload"
+            or self.current_config is None
+            or self.current_config.num_instances(self.gpus_per_instance) > available
+            or not self.config_space.fits(self.current_config)
+        ):
+            return target
+        current_estimate = self.controller.estimate(self.current_config, arrival_rate)
+        if target.estimate.throughput >= current_estimate.throughput:
+            return target
+        return OptimizerDecision(
+            config=self.current_config,
+            estimate=current_estimate,
+            instance_delta=0,
+            objective="keep",
+            arrival_rate=arrival_rate,
+            available_instances=available,
+        )
+
+    def _can_skip_reconfiguration(self, new_config: ParallelConfig, reason: str) -> bool:
+        """True when no reparallelization is needed for this trigger.
+
+        Keeping the same configuration still requires a membership update when
+        any device of the current deployment is about to disappear or the
+        deployment is not fully populated; otherwise (e.g. a spare instance
+        was preempted, or an acquisition arrived while the current
+        configuration already suffices) the trigger can be absorbed silently.
+        """
+        if new_config != self.current_config or not self.pipelines:
+            return False
+        doomed = {inst.instance_id for inst in self.instance_manager.doomed_instances()}
+        lost = {
+            inst_id
+            for inst_id in self._pending_deadlines
+        }
+        unavailable = doomed | lost
+        for pipeline in self.pipelines:
+            for instance_id in pipeline.assignment.instance_ids:
+                if instance_id in unavailable:
+                    return False
+            if not pipeline.assignment.is_fully_assigned:
+                return False
+        return True
+
+    def _prepare_transition(
+        self, new_config: ParallelConfig, reason: str
+    ) -> Tuple[Dict[DeviceId, TopologyPosition], float, float, float, float, bool]:
+        """Compute placement, stall, stop time and migration volume for a switch."""
+        now = self.simulator.now
+        devices = self._available_devices()
+        inheritance = self._pipeline_inheritance(new_config)
+        cache_info = self._cache_requirements(new_config, inheritance)
+        mapping = self.device_mapper.map_devices(
+            self.meta_context,
+            devices,
+            new_config,
+            pipeline_inheritance=inheritance,
+            cached_tokens_per_pipeline={
+                new_d: (batch_size, tokens)
+                for new_d, (_, batch_size, tokens) in cache_info.items()
+            },
+        )
+        plan = self.migration_planner.plan(self.meta_context, mapping, cache_info)
+
+        fresh_instances = {
+            device[0]
+            for device in mapping.placement
+            if device[0] not in self._initialized_instances
+        }
+        launch_overhead = self.options.engine_launch_time if fresh_instances else 0.0
+
+        stop_time = now
+        effective_deadline = self.interruption_arranger.merge_overlapping_deadlines(
+            list(self._pending_deadlines.values())
+        )
+        if reason in ("preemption", "preemption-final"):
+            # The engine launch of any fresh instance cannot be hidden behind
+            # the grace period, so it adds to the stall.
+            stall_time = max(plan.migration_time, launch_overhead)
+            if self.options.stateful_recovery and effective_deadline is not None:
+                stop_time = self._jit_stop_time(effective_deadline, plan)
+        else:
+            # Acquisition / workload changes are not under grace-period
+            # pressure: keep serving while fresh engines launch (the JIT
+            # acquisition arrangement), then pay only the migration stall.
+            stop_time = now + launch_overhead
+            stall_time = plan.migration_time
+
+        return (
+            mapping.placement,
+            stall_time,
+            stop_time,
+            plan.total_bytes,
+            mapping.reused_bytes,
+            self.options.stateful_recovery,
+        )
+
+    def _static_decision(
+        self, available: int, arrival_rate: float
+    ) -> Optional[OptimizerDecision]:
+        """Ablation fallback: keep the current (D, P, M) shape if it still fits."""
+        if self.current_config is None:
+            return self.controller.propose(available, arrival_rate)
+        config = self.current_config
+        max_gpus = available * self.gpus_per_instance
+        data_degree = min(
+            config.data_degree, max_gpus // max(config.gpus_per_pipeline, 1)
+        )
+        if data_degree <= 0:
+            return None
+        shrunk = ParallelConfig(
+            data_degree, config.pipeline_degree, config.tensor_degree, config.batch_size
+        )
+        estimate = self.controller.estimate(shrunk, arrival_rate)
+        return OptimizerDecision(
+            config=shrunk,
+            estimate=estimate,
+            instance_delta=shrunk.num_instances(self.gpus_per_instance) - available,
+            objective="static",
+            arrival_rate=arrival_rate,
+            available_instances=available,
+        )
+
+    def _jit_stop_time(self, deadline: float, plan: MigrationPlan) -> float:
+        """Latest stop time that still leaves room for the migration itself."""
+        now = self.simulator.now
+        stop_time = now
+        for pipeline in self.pipelines:
+            if not pipeline.is_busy or self.current_config is None:
+                continue
+            arrangement = self.interruption_arranger.arrange_preemption(
+                pipeline.current_batch,
+                self.current_config,
+                now,
+                deadline,
+                plan.migration_time,
+            )
+            stop_time = max(stop_time, arrangement.stop_time)
+        return min(stop_time, max(deadline - plan.migration_time, now))
+
+    def _pipeline_inheritance(self, new_config: ParallelConfig) -> Dict[int, int]:
+        """Old data-parallel index -> new data-parallel index (identity prefix)."""
+        if self.current_config is None:
+            return {}
+        shared = min(self.current_config.data_degree, new_config.data_degree)
+        return {d: d for d in range(shared)}
+
+    def _cache_requirements(
+        self, new_config: ParallelConfig, inheritance: Dict[int, int]
+    ) -> Dict[int, Tuple[int, int, int]]:
+        """New data index -> (old data index, batch size, cached tokens)."""
+        requirements: Dict[int, Tuple[int, int, int]] = {}
+        if not self.options.stateful_recovery:
+            return requirements
+        for pipeline in self.pipelines:
+            batch = pipeline.current_batch
+            if batch is None or batch.committed_tokens <= 0:
+                continue
+            old_index = pipeline.pipeline_index
+            new_index = inheritance.get(old_index)
+            if new_index is None:
+                continue
+            requirements[new_index] = (
+                old_index,
+                batch.size,
+                self.input_length + batch.committed_tokens,
+            )
+        return requirements

@@ -1,0 +1,93 @@
+"""Runtime statistics collected by every serving system.
+
+The evaluation section of the paper reports average and tail request
+latencies (Figure 6, Figure 8), per-token monetary cost (Figure 7), the
+sequence of parallel configurations chosen over time (Figure 8g/8h) and the
+contribution of each optimisation (Figure 9).  :class:`ServingStats` is the
+single place where the serving systems record everything those figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..workload.request import Request
+from .config import ParallelConfig
+
+
+@dataclass
+class ReconfigurationRecord:
+    """One reparallelization performed by the serving system."""
+
+    time: float
+    old_config: Optional[ParallelConfig]
+    new_config: ParallelConfig
+    reason: str
+    stall_time: float
+    migrated_bytes: float = 0.0
+    reused_bytes: float = 0.0
+    objective: str = ""
+
+
+@dataclass
+class ServingStats:
+    """Aggregated counters and logs for one serving run."""
+
+    system_name: str = ""
+    completed_requests: List[Request] = field(default_factory=list)
+    reconfigurations: List[ReconfigurationRecord] = field(default_factory=list)
+    tokens_generated: int = 0
+    tokens_recomputed: int = 0
+    preemption_notices: int = 0
+    acquisitions: int = 0
+    interrupted_batches: int = 0
+    rerouted_batches: int = 0
+    config_timeline: List[Tuple[float, ParallelConfig]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording helpers
+    # ------------------------------------------------------------------
+    def record_completion(self, request: Request) -> None:
+        """Record a finished request."""
+        self.completed_requests.append(request)
+
+    def record_config(self, time: float, config: ParallelConfig) -> None:
+        """Record the configuration active from *time* onwards."""
+        self.config_timeline.append((time, config))
+
+    def record_reconfiguration(self, record: ReconfigurationRecord) -> None:
+        """Record one reparallelization."""
+        self.reconfigurations.append(record)
+        self.record_config(record.time, record.new_config)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def latencies(self) -> List[float]:
+        """End-to-end latencies of completed requests, in completion order."""
+        return [
+            latency
+            for latency in (request.latency() for request in self.completed_requests)
+            if latency is not None
+        ]
+
+    def request_timeline(self) -> List[Tuple[float, float]]:
+        """``(arrival_time, latency)`` pairs for the per-request plots (Fig. 8g/h)."""
+        return sorted(
+            (request.arrival_time, latency)
+            for request, latency in (
+                (request, request.latency()) for request in self.completed_requests
+            )
+            if latency is not None
+        )
+
+    @property
+    def completed_count(self) -> int:
+        """Number of completed requests."""
+        return len(self.completed_requests)
+
+    @property
+    def total_stall_time(self) -> float:
+        """Total serving stall caused by reconfigurations."""
+        return sum(record.stall_time for record in self.reconfigurations)

@@ -1,0 +1,41 @@
+"""Simulated distributed inference engine: placement, contexts, batching, pipelines."""
+
+from .batching import Batch, RequestQueue
+from .context import (
+    CacheContext,
+    ContextDaemon,
+    DeviceId,
+    MetaContextManager,
+    ModelContext,
+)
+from .pipeline import InferencePipeline, PipelineAssignment
+from .placement import (
+    TopologyPosition,
+    cache_context_overlap_bytes,
+    mesh_positions,
+    model_context_overlap_bytes,
+    position_cache_bytes,
+    position_model_bytes,
+    shard_interval,
+    stage_layer_range,
+)
+
+__all__ = [
+    "Batch",
+    "CacheContext",
+    "ContextDaemon",
+    "DeviceId",
+    "InferencePipeline",
+    "MetaContextManager",
+    "ModelContext",
+    "PipelineAssignment",
+    "RequestQueue",
+    "TopologyPosition",
+    "cache_context_overlap_bytes",
+    "mesh_positions",
+    "model_context_overlap_bytes",
+    "position_cache_bytes",
+    "position_model_bytes",
+    "shard_interval",
+    "stage_layer_range",
+]

@@ -1,0 +1,188 @@
+"""Context daemons: per-GPU model context and cache context.
+
+SpotServe runs a *context daemon* next to every inference engine (Figure 3).
+The daemon owns two kinds of GPU state:
+
+* **model context** -- the slice of model parameters the GPU holds for its
+  topology position, and
+* **cache context** -- the KV cache of the in-flight requests served by the
+  GPU's pipeline.
+
+Because the daemon is a separate process from the inference engine, the
+context survives engine interruptions; reparallelization then migrates only
+the missing pieces.  In this reproduction the daemon tracks *which* slices
+and *how many bytes* are resident (not actual tensors), which is exactly the
+information the device mapper and migration planner consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..llm.spec import ModelSpec
+from .placement import (
+    TopologyPosition,
+    position_cache_bytes,
+    position_model_bytes,
+)
+
+DeviceId = Tuple[str, int]  # (instance_id, gpu_index)
+
+
+@dataclass
+class ModelContext:
+    """The model-parameter slice a GPU holds."""
+
+    pipeline_degree: int
+    tensor_degree: int
+    position: TopologyPosition
+
+    def bytes(self, model: ModelSpec) -> float:
+        """Resident parameter bytes of this slice."""
+        return position_model_bytes(model, self.pipeline_degree, self.tensor_degree)
+
+
+@dataclass
+class CacheContext:
+    """The KV-cache slice a GPU holds for one pipeline's in-flight batch."""
+
+    pipeline_degree: int
+    tensor_degree: int
+    position: TopologyPosition
+    batch_size: int
+    cached_tokens: int
+    batch_id: Optional[int] = None
+
+    def bytes(self, model: ModelSpec) -> float:
+        """Resident cache bytes of this slice."""
+        return position_cache_bytes(
+            model,
+            self.cached_tokens,
+            self.batch_size,
+            self.pipeline_degree,
+            self.tensor_degree,
+        )
+
+
+@dataclass
+class ContextDaemon:
+    """Per-GPU context holder."""
+
+    device_id: DeviceId
+    model_context: Optional[ModelContext] = None
+    cache_context: Optional[CacheContext] = None
+
+    def install_model_context(
+        self, pipeline_degree: int, tensor_degree: int, position: TopologyPosition
+    ) -> None:
+        """Record that the GPU now holds the slice for *position*."""
+        self.model_context = ModelContext(pipeline_degree, tensor_degree, position)
+
+    def install_cache_context(
+        self,
+        pipeline_degree: int,
+        tensor_degree: int,
+        position: TopologyPosition,
+        batch_size: int,
+        cached_tokens: int,
+        batch_id: Optional[int] = None,
+    ) -> None:
+        """Record the KV cache of the pipeline's current batch."""
+        self.cache_context = CacheContext(
+            pipeline_degree,
+            tensor_degree,
+            position,
+            batch_size,
+            cached_tokens,
+            batch_id,
+        )
+
+    def clear_cache_context(self) -> None:
+        """Drop the cache context (e.g. batch completed or cache discarded)."""
+        self.cache_context = None
+
+    def clear(self) -> None:
+        """Drop everything (instance lost or restarted from scratch)."""
+        self.model_context = None
+        self.cache_context = None
+
+    def resident_bytes(self, model: ModelSpec) -> float:
+        """Total context bytes resident on the GPU."""
+        total = 0.0
+        if self.model_context is not None:
+            total += self.model_context.bytes(model)
+        if self.cache_context is not None:
+            total += self.cache_context.bytes(model)
+        return total
+
+
+class MetaContextManager:
+    """Cluster-wide view of every GPU's context daemon.
+
+    This mirrors the meta-context manager on SpotServe's inference server: it
+    knows what every GPU currently holds and is the source of truth the
+    device mapper and migration planner read when a reconfiguration starts.
+    """
+
+    def __init__(self, model: ModelSpec) -> None:
+        self.model = model
+        self._daemons: Dict[DeviceId, ContextDaemon] = {}
+
+    # ------------------------------------------------------------------
+    # Daemon lifecycle
+    # ------------------------------------------------------------------
+    def daemon(self, device_id: DeviceId) -> ContextDaemon:
+        """Return (creating if needed) the daemon for *device_id*."""
+        if device_id not in self._daemons:
+            self._daemons[device_id] = ContextDaemon(device_id)
+        return self._daemons[device_id]
+
+    def drop_device(self, device_id: DeviceId) -> None:
+        """Forget a GPU whose instance was preempted or released."""
+        self._daemons.pop(device_id, None)
+
+    def drop_instance(self, instance_id: str) -> None:
+        """Forget every GPU of an instance."""
+        for device_id in list(self._daemons):
+            if device_id[0] == instance_id:
+                del self._daemons[device_id]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def devices(self) -> List[DeviceId]:
+        """Every tracked GPU."""
+        return list(self._daemons)
+
+    def devices_with_model_context(self) -> List[DeviceId]:
+        """GPUs that currently hold a model-context slice."""
+        return [
+            device_id
+            for device_id, daemon in self._daemons.items()
+            if daemon.model_context is not None
+        ]
+
+    def total_resident_bytes(self) -> float:
+        """Sum of context bytes across the cluster."""
+        return sum(daemon.resident_bytes(self.model) for daemon in self._daemons.values())
+
+    def model_replica_coverage(self, pipeline_degree: int, tensor_degree: int) -> float:
+        """Fraction of the model's (P*M) positions that exist on some GPU.
+
+        Used by the fault-tolerance logic: when coverage drops below 1.0 the
+        missing slices have to be reloaded from persistent storage.
+        """
+        needed = {
+            (p, m) for p in range(pipeline_degree) for m in range(tensor_degree)
+        }
+        present = set()
+        for daemon in self._daemons.values():
+            ctx = daemon.model_context
+            if ctx is None:
+                continue
+            if ctx.pipeline_degree == pipeline_degree and ctx.tensor_degree == tensor_degree:
+                present.add((ctx.position.stage_index, ctx.position.shard_index))
+        if not needed:
+            return 1.0
+        return len(needed & present) / len(needed)

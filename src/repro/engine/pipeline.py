@@ -1,0 +1,226 @@
+"""Simulated distributed inference pipelines.
+
+An *inference pipeline* is one data-parallel replica of the model: ``P * M``
+GPUs bound to the pipeline-stage-shard positions of the current parallel
+configuration, decoding one mini-batch at a time.  The pipeline tracks
+token-level decoding progress analytically (using the calibrated
+:class:`~repro.llm.costmodel.LatencyModel`), which is what lets the
+reproduction commit progress at arbitrary decoding iterations exactly like
+SpotServe's stateful inference recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..llm.costmodel import LatencyModel
+from .batching import Batch
+from .context import DeviceId
+from .placement import TopologyPosition
+
+
+@dataclass
+class PipelineAssignment:
+    """The device bound to each (stage, shard) position of one pipeline."""
+
+    pipeline_index: int
+    pipeline_degree: int
+    tensor_degree: int
+    devices: Dict[TopologyPosition, DeviceId] = field(default_factory=dict)
+
+    def device_at(self, stage_index: int, shard_index: int) -> Optional[DeviceId]:
+        """Device bound to the (stage, shard) position, if any."""
+        position = TopologyPosition(self.pipeline_index, stage_index, shard_index)
+        return self.devices.get(position)
+
+    @property
+    def device_ids(self) -> List[DeviceId]:
+        """Every device participating in this pipeline."""
+        return list(self.devices.values())
+
+    @property
+    def instance_ids(self) -> List[str]:
+        """Instances hosting this pipeline's devices (unique, ordered)."""
+        seen: List[str] = []
+        for device in self.devices.values():
+            if device[0] not in seen:
+                seen.append(device[0])
+        return seen
+
+    @property
+    def is_fully_assigned(self) -> bool:
+        """True when every position has a device."""
+        return len(self.devices) == self.pipeline_degree * self.tensor_degree
+
+
+class InferencePipeline:
+    """One data-parallel replica decoding batches with incremental decoding."""
+
+    def __init__(
+        self,
+        assignment: PipelineAssignment,
+        latency_model: LatencyModel,
+        batch_size: int,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.assignment = assignment
+        self.latency_model = latency_model
+        self.batch_size = batch_size
+        self.current_batch: Optional[Batch] = None
+        self._batch_start_time: Optional[float] = None
+        self._tokens_at_start: int = 0
+        self._prefill_needed: bool = True
+        self.total_tokens_generated: int = 0
+        self.total_batches_completed: int = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pipeline_index(self) -> int:
+        """Data-parallel index of this pipeline."""
+        return self.assignment.pipeline_index
+
+    @property
+    def is_busy(self) -> bool:
+        """True while a batch is being decoded."""
+        return self.current_batch is not None
+
+    @property
+    def pipeline_degree(self) -> int:
+        """Pipeline (inter-operator) parallel degree."""
+        return self.assignment.pipeline_degree
+
+    @property
+    def tensor_degree(self) -> int:
+        """Tensor (intra-operator) parallel degree."""
+        return self.assignment.tensor_degree
+
+    def uses_instance(self, instance_id: str) -> bool:
+        """True when any of the pipeline's GPUs lives on *instance_id*."""
+        return instance_id in self.assignment.instance_ids
+
+    # ------------------------------------------------------------------
+    # Timing helpers
+    # ------------------------------------------------------------------
+    def _iteration_time(self, batch: Batch) -> float:
+        return self.latency_model.decode_iteration_time(
+            self.pipeline_degree,
+            self.tensor_degree,
+            batch.size,
+            context_length=batch.input_tokens,
+        )
+
+    def _prefill_time(self, batch: Batch) -> float:
+        return self.latency_model.prefill_time(
+            self.pipeline_degree, self.tensor_degree, batch.size, batch.input_tokens
+        )
+
+    def execution_time(self, batch: Batch, resume: bool = False) -> float:
+        """Wall time to finish *batch* from its current committed progress.
+
+        ``resume=True`` means the batch's KV cache is resident (stateful
+        recovery), so neither the prefill nor the committed tokens are
+        recomputed; otherwise decoding restarts from the prompt.
+        """
+        remaining = batch.remaining_tokens
+        iteration = self._iteration_time(batch)
+        if resume and batch.committed_tokens > 0:
+            return remaining * iteration
+        return self._prefill_time(batch) + batch.output_tokens * iteration
+
+    # ------------------------------------------------------------------
+    # Batch lifecycle
+    # ------------------------------------------------------------------
+    def start_batch(self, batch: Batch, time: float, resume: bool = False) -> float:
+        """Begin decoding *batch* at *time*; returns the completion timestamp.
+
+        Raises
+        ------
+        RuntimeError
+            If the pipeline is already busy.
+        """
+        if self.is_busy:
+            raise RuntimeError(f"pipeline {self.pipeline_index} is already decoding a batch")
+        self.current_batch = batch
+        self._batch_start_time = time
+        self._tokens_at_start = batch.committed_tokens if resume else 0
+        self._prefill_needed = not (resume and batch.committed_tokens > 0)
+        if not resume and batch.committed_tokens > 0:
+            batch.drop_cache()
+        for request in batch.requests:
+            request.mark_started(time)
+        return time + self.execution_time(batch, resume=resume)
+
+    def tokens_decoded_by(self, time: float) -> int:
+        """Output tokens (per request) decoded between batch start and *time*."""
+        if self.current_batch is None or self._batch_start_time is None:
+            return 0
+        batch = self.current_batch
+        elapsed = max(time - self._batch_start_time, 0.0)
+        if self._prefill_needed:
+            prefill = self._prefill_time(batch)
+            if elapsed <= prefill:
+                return 0
+            elapsed -= prefill
+        iteration = self._iteration_time(batch)
+        if iteration <= 0:
+            return batch.output_tokens - self._tokens_at_start
+        decoded = int(elapsed // iteration)
+        return min(decoded, batch.output_tokens - self._tokens_at_start)
+
+    def commit_progress(self, time: float) -> int:
+        """Commit every token decoded so far (token-level commit).
+
+        Returns the number of newly committed tokens.
+        """
+        if self.current_batch is None:
+            return 0
+        decoded = self.tokens_decoded_by(time)
+        already = self.current_batch.committed_tokens - self._tokens_at_start
+        newly = max(decoded - already, 0)
+        if newly > 0:
+            self.current_batch.commit_tokens(newly)
+            self.total_tokens_generated += newly * self.current_batch.size
+        return newly
+
+    def complete_batch(self, time: float) -> Batch:
+        """Finish the current batch at *time* and return it."""
+        if self.current_batch is None:
+            raise RuntimeError("no batch to complete")
+        batch = self.current_batch
+        remaining = batch.output_tokens - batch.committed_tokens
+        if remaining > 0:
+            batch.commit_tokens(remaining)
+            self.total_tokens_generated += remaining * batch.size
+        for request in batch.requests:
+            request.mark_completed(time)
+        self.total_batches_completed += 1
+        self.current_batch = None
+        self._batch_start_time = None
+        self._tokens_at_start = 0
+        self._prefill_needed = True
+        return batch
+
+    def interrupt(self, time: float, preserve_cache: bool = True) -> Optional[Batch]:
+        """Stop decoding at *time*, committing progress when the cache survives.
+
+        Returns the interrupted batch (None when idle).  With
+        ``preserve_cache=False`` the KV cache is lost and the batch's
+        progress is reset (the request-rerouting baseline behaviour).
+        """
+        if self.current_batch is None:
+            return None
+        batch = self.current_batch
+        if preserve_cache:
+            self.commit_progress(time)
+        else:
+            batch.drop_cache()
+        batch.mark_interrupted()
+        self.current_batch = None
+        self._batch_start_time = None
+        self._tokens_at_start = 0
+        self._prefill_needed = True
+        return batch

@@ -1,0 +1,42 @@
+"""Experiment harness: runners, metrics, ablation presets and scenarios."""
+
+from .ablation import ABLATION_ORDER, ablation_options
+from .metrics import (
+    REPORTED_PERCENTILES,
+    LatencyStats,
+    improvement_factor,
+    summarize_latencies,
+)
+from .runner import (
+    DEFAULT_DRAIN_TIME,
+    ExperimentResult,
+    run_comparison,
+    run_serving_experiment,
+)
+from .scenarios import (
+    COMPARED_SYSTEMS,
+    STABLE_MODELS,
+    STABLE_TRACES,
+    Scenario,
+    fluctuating_workload_scenario,
+    stable_workload_scenario,
+)
+
+__all__ = [
+    "ABLATION_ORDER",
+    "COMPARED_SYSTEMS",
+    "DEFAULT_DRAIN_TIME",
+    "ExperimentResult",
+    "LatencyStats",
+    "REPORTED_PERCENTILES",
+    "STABLE_MODELS",
+    "STABLE_TRACES",
+    "Scenario",
+    "ablation_options",
+    "fluctuating_workload_scenario",
+    "improvement_factor",
+    "run_comparison",
+    "run_serving_experiment",
+    "stable_workload_scenario",
+    "summarize_latencies",
+]

@@ -1,0 +1,56 @@
+"""Ablation presets matching Figure 9.
+
+The paper "starts from SpotServe and gradually disables each system
+optimization one by one": first the parallelization controller, then the
+migration planner, then the interruption arranger, and finally the device
+mapper (leaving a plain system that only keeps model context on the GPUs).
+Each preset below is cumulative, exactly like the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.server import SpotServeOptions
+
+#: Order in which components are removed in Figure 9.
+ABLATION_ORDER: List[str] = [
+    "SpotServe",
+    "- Controller",
+    "- Migration Planner",
+    "- Interruption Arranger",
+    "- Device Mapper",
+]
+
+
+def ablation_options(allow_on_demand: bool = False) -> Dict[str, SpotServeOptions]:
+    """Cumulative ablation presets keyed by the labels used in Figure 9."""
+    presets: Dict[str, SpotServeOptions] = {}
+    presets["SpotServe"] = SpotServeOptions(allow_on_demand=allow_on_demand)
+    presets["- Controller"] = SpotServeOptions(
+        allow_on_demand=allow_on_demand,
+        adaptive_controller=False,
+    )
+    presets["- Migration Planner"] = SpotServeOptions(
+        allow_on_demand=allow_on_demand,
+        adaptive_controller=False,
+        memory_optimized_migration=False,
+        progressive_migration=False,
+    )
+    presets["- Interruption Arranger"] = SpotServeOptions(
+        allow_on_demand=allow_on_demand,
+        adaptive_controller=False,
+        memory_optimized_migration=False,
+        progressive_migration=False,
+        stateful_recovery=False,
+    )
+    presets["- Device Mapper"] = SpotServeOptions(
+        allow_on_demand=allow_on_demand,
+        adaptive_controller=False,
+        memory_optimized_migration=False,
+        progressive_migration=False,
+        stateful_recovery=False,
+        optimal_device_mapping=False,
+        hierarchical_mapping=False,
+    )
+    return presets

@@ -1,0 +1,196 @@
+"""Experiment runner: replay a trace + workload against a serving system.
+
+Every figure of the evaluation boils down to the same experiment shape:
+pick a model, an availability trace, an arrival process and a serving
+system; replay everything on the simulator; collect per-request latencies
+and the monetary cost.  :func:`run_serving_experiment` packages that recipe
+and returns an :class:`ExperimentResult` the benchmarks and examples report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from ..cloud.instance import G4DN_12XLARGE, InstanceType, Market
+from ..cloud.provider import CloudProvider
+from ..cloud.trace import AvailabilityTrace
+from ..core.server import ServingSystemBase, SpotServeOptions, SpotServeSystem
+from ..core.stats import ServingStats
+from ..llm.spec import ModelSpec, get_model
+from ..sim.engine import Simulator
+from ..workload.arrival import ArrivalProcess
+from ..workload.request import Request
+from .metrics import LatencyStats
+
+#: Extra simulated time after the trace ends so in-flight requests can drain.
+DEFAULT_DRAIN_TIME = 600.0
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured during one serving experiment."""
+
+    system_name: str
+    model_name: str
+    trace_name: str
+    duration: float
+    stats: ServingStats
+    latency: LatencyStats
+    submitted_requests: int
+    completed_requests: int
+    total_cost: float
+    spot_cost: float
+    on_demand_cost: float
+    tokens_generated: int
+
+    @property
+    def completion_ratio(self) -> float:
+        """Fraction of submitted requests that completed within the run."""
+        if self.submitted_requests == 0:
+            return 1.0
+        return self.completed_requests / self.submitted_requests
+
+    @property
+    def cost_per_token(self) -> float:
+        """USD per generated output token (Figure 7's y-axis)."""
+        if self.tokens_generated <= 0:
+            return float("inf")
+        return self.total_cost / self.tokens_generated
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary row for reporting."""
+        row = {
+            "avg_latency": self.latency.mean,
+            "p99_latency": self.latency.p99,
+            "completed": float(self.completed_requests),
+            "submitted": float(self.submitted_requests),
+            "total_cost": self.total_cost,
+            "cost_per_token": self.cost_per_token,
+        }
+        return row
+
+
+def run_serving_experiment(
+    system_cls: Type[ServingSystemBase],
+    model: ModelSpec | str,
+    trace: AvailabilityTrace,
+    arrival_process: ArrivalProcess,
+    duration: Optional[float] = None,
+    drain_time: float = DEFAULT_DRAIN_TIME,
+    options: Optional[SpotServeOptions] = None,
+    instance_type: InstanceType = G4DN_12XLARGE,
+    trace_market: Market = Market.SPOT,
+    initial_arrival_rate: Optional[float] = None,
+    requests: Optional[List[Request]] = None,
+) -> ExperimentResult:
+    """Run one serving experiment end to end.
+
+    Parameters
+    ----------
+    system_cls:
+        The serving system class (SpotServe or a baseline).
+    model:
+        Model spec or catalog name.
+    trace:
+        Spot availability trace to replay.
+    arrival_process:
+        Generates the request workload (ignored when *requests* is given).
+    duration:
+        Length of the workload in seconds; defaults to the trace duration.
+    drain_time:
+        Extra time simulated after the workload ends so queued requests can
+        finish (they still count toward latency statistics).
+    options:
+        Feature switches for the serving system.
+    trace_market:
+        Billing market for trace-granted instances (spot by default; use
+        on-demand for the Figure 7 reference runs).
+    initial_arrival_rate:
+        Arrival-rate estimate used before any request arrives; defaults to
+        the submitted request count divided by the duration.
+    requests:
+        Pre-generated requests (overrides *arrival_process* generation so the
+        identical workload can be replayed against several systems).
+    """
+    model_spec = get_model(model) if isinstance(model, str) else model
+    run_duration = duration if duration is not None else trace.duration
+
+    simulator = Simulator()
+    provider = CloudProvider(
+        simulator, trace, instance_type=instance_type, trace_market=trace_market
+    )
+    workload = requests if requests is not None else arrival_process.generate(run_duration)
+    if initial_arrival_rate is None:
+        initial_arrival_rate = max(len(workload) / max(run_duration, 1.0), 1e-3)
+
+    system = system_cls(
+        simulator,
+        provider,
+        model_spec,
+        options=options,
+        initial_arrival_rate=initial_arrival_rate,
+    )
+    system.submit_requests(workload)
+    system.initialize()
+    stats = system.run(until=run_duration + drain_time)
+
+    now = simulator.now
+    tracker = provider.cost_tracker
+    latency = LatencyStats.from_latencies(stats.latencies())
+    return ExperimentResult(
+        system_name=system.name,
+        model_name=model_spec.name,
+        trace_name=trace.name,
+        duration=run_duration,
+        stats=stats,
+        latency=latency,
+        submitted_requests=len(workload),
+        completed_requests=stats.completed_count,
+        total_cost=tracker.total_cost(now),
+        spot_cost=tracker.total_cost(now, Market.SPOT),
+        on_demand_cost=tracker.total_cost(now, Market.ON_DEMAND),
+        tokens_generated=stats.tokens_generated,
+    )
+
+
+def run_comparison(
+    systems: Dict[str, Type[ServingSystemBase]],
+    model: ModelSpec | str,
+    trace: AvailabilityTrace,
+    arrival_process: ArrivalProcess,
+    duration: Optional[float] = None,
+    options_by_system: Optional[Dict[str, SpotServeOptions]] = None,
+    **kwargs,
+) -> Dict[str, ExperimentResult]:
+    """Run several systems against the *same* workload and trace.
+
+    The request list is generated once and deep-replayed for every system so
+    the comparison is workload-identical (the paper replays the same trace
+    segment for every system).
+    """
+    model_spec = get_model(model) if isinstance(model, str) else model
+    run_duration = duration if duration is not None else trace.duration
+    template = arrival_process.generate(run_duration)
+    options_by_system = options_by_system or {}
+    results: Dict[str, ExperimentResult] = {}
+    for name, system_cls in systems.items():
+        requests = [
+            Request(
+                arrival_time=req.arrival_time,
+                input_tokens=req.input_tokens,
+                output_tokens=req.output_tokens,
+            )
+            for req in template
+        ]
+        results[name] = run_serving_experiment(
+            system_cls,
+            model_spec,
+            trace,
+            arrival_process,
+            duration=run_duration,
+            options=options_by_system.get(name),
+            requests=requests,
+            **kwargs,
+        )
+    return results

@@ -1,0 +1,53 @@
+"""LLM model catalog, memory accounting and analytic cost model."""
+
+from .costmodel import (
+    DEFAULT_INPUT_LENGTH,
+    DEFAULT_OUTPUT_LENGTH,
+    TABLE1_REFERENCE,
+    CostModelParams,
+    LatencyModel,
+)
+from .hardware import A100_40GB, GPU_CATALOG, T4, V100_16GB, GPUSpec, get_gpu
+from .memory import (
+    DEFAULT_ACTIVATION_BYTES,
+    DEFAULT_MIGRATION_BUFFER_BYTES,
+    DEFAULT_RESERVE_BYTES,
+    MemoryModel,
+)
+from .profiler import OfflineProfiler, ProfileEntry
+from .spec import (
+    GPT_20B,
+    LLAMA_30B,
+    MODEL_CATALOG,
+    OPT_6_7B,
+    ModelSpec,
+    get_model,
+    register_model,
+)
+
+__all__ = [
+    "A100_40GB",
+    "CostModelParams",
+    "DEFAULT_ACTIVATION_BYTES",
+    "DEFAULT_INPUT_LENGTH",
+    "DEFAULT_MIGRATION_BUFFER_BYTES",
+    "DEFAULT_OUTPUT_LENGTH",
+    "DEFAULT_RESERVE_BYTES",
+    "GPT_20B",
+    "GPU_CATALOG",
+    "GPUSpec",
+    "LLAMA_30B",
+    "LatencyModel",
+    "MODEL_CATALOG",
+    "MemoryModel",
+    "ModelSpec",
+    "OPT_6_7B",
+    "OfflineProfiler",
+    "ProfileEntry",
+    "T4",
+    "TABLE1_REFERENCE",
+    "V100_16GB",
+    "get_gpu",
+    "get_model",
+    "register_model",
+]

@@ -1,0 +1,374 @@
+"""Analytical latency / throughput cost model for distributed LLM inference.
+
+SpotServe's parallelization controller, migration planner and interruption
+arranger all consume an *offline-profiled* cost model (Section 5 of the
+paper): given a parallel configuration they need the execution latency
+``l_exe(S_out | S_in)`` of Eq. (1)/(2), the per-iteration decoding latency
+``t_exe(1)``, and the serving throughput ``phi(C)``.
+
+The original system profiles FasterTransformer on real T4 GPUs.  Without
+GPUs, this module provides an analytic roofline-style model:
+
+* the **prefill** (initial) phase is compute bound,
+* each **decoding iteration** is memory-bandwidth bound (it must stream every
+  resident parameter once) with a compute lower bound,
+* **tensor parallelism** adds two all-reduces per layer whose cost depends on
+  whether the shards fit inside one instance (PCIe/NVLink) or span instances
+  (Ethernet) -- this reproduces the "over-sharded intra-op parallelism"
+  under-utilisation effect called out in Section 5,
+* **pipeline parallelism** serialises stages for a single batch and adds
+  (P-1) activation hand-offs.
+
+A per-model calibration factor is fitted against the single-request latencies
+published in Table 1 so that absolute numbers land in the paper's range; all
+relative behaviour comes from the analytic structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..sim.network import NetworkSpec
+from .hardware import GPUSpec, T4
+from .spec import ModelSpec, get_model
+
+#: Reference decoding lengths used throughout the paper's evaluation.
+DEFAULT_INPUT_LENGTH = 512
+DEFAULT_OUTPUT_LENGTH = 128
+
+#: Table 1 single-request latencies (seconds) used for calibration:
+#: model name -> ((P, M), l_exe with B=1, S_in=512, S_out=128).
+TABLE1_REFERENCE: Dict[str, Tuple[Tuple[int, int], float]] = {
+    "OPT-6.7B": ((1, 4), 5.447),
+    "GPT-20B": ((3, 4), 14.373),
+    "LLaMA-30B": ((2, 8), 17.540),
+}
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Tunable efficiency factors of the analytic model.
+
+    The defaults describe a T4-class GPU running FasterTransformer-style
+    kernels; they intentionally stay well below peak to reflect the practical
+    under-utilisation factors the paper lists (small batches, single-token
+    decoding, memory access overheads).
+    """
+
+    #: Fraction of peak FLOPs achieved during the (large-matmul) prefill phase.
+    prefill_compute_efficiency: float = 0.35
+    #: Fraction of peak FLOPs achieved during batched decoding matmuls.  Kept
+    #: deliberately low (skinny GEMMs on fp32 weights are far from peak on a
+    #: T4) so that large batches pay a visible per-iteration cost, which is
+    #: what makes single-pipeline configurations overload under the paper's
+    #: arrival rates (Section 6.2).
+    decode_compute_efficiency: float = 0.036
+    #: Fraction of peak memory bandwidth achieved when streaming weights.
+    memory_efficiency: float = 0.65
+    #: Extra per-iteration fixed overhead (kernel launches, sampling), seconds.
+    per_iteration_overhead: float = 0.003
+    #: Per-request scheduling/tokenisation overhead added once, seconds.
+    per_request_overhead: float = 0.05
+    #: Efficiency factor applied to collective (all-reduce) bandwidth.
+    collective_efficiency: float = 0.7
+    #: Startup latency of an all-reduce whose shards share one instance.
+    collective_latency_intra: float = 0.0002
+    #: Startup latency of an all-reduce that spans instances (this is the
+    #: "over-sharded intra-op parallelism" penalty of Section 5).
+    collective_latency_inter: float = 0.0012
+    #: GPUs per instance; tensor groups larger than this pay inter-instance
+    #: all-reduce costs.
+    gpus_per_instance: int = 4
+
+    def __post_init__(self) -> None:
+        for name in (
+            "prefill_compute_efficiency",
+            "decode_compute_efficiency",
+            "memory_efficiency",
+            "collective_efficiency",
+        ):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if self.gpus_per_instance < 1:
+            raise ValueError("gpus_per_instance must be >= 1")
+
+
+class LatencyModel:
+    """Analytic latency/throughput model for one (model, GPU, network) triple.
+
+    Parameters
+    ----------
+    model:
+        The LLM being served (a :class:`~repro.llm.spec.ModelSpec` or name).
+    gpu:
+        GPU device type; defaults to the T4 used in the paper.
+    network:
+        Cluster fabric characteristics (used for all-reduce / pipeline
+        hand-off costs).
+    params:
+        Efficiency factors; see :class:`CostModelParams`.
+    calibrate:
+        When True (default) and the model appears in Table 1, a scalar
+        correction factor is fitted so the reference-point latency matches the
+        published number exactly.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec | str,
+        gpu: GPUSpec = T4,
+        network: Optional[NetworkSpec] = None,
+        params: Optional[CostModelParams] = None,
+        calibrate: bool = True,
+    ) -> None:
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.gpu = gpu
+        self.network = network or NetworkSpec()
+        self.params = params or CostModelParams()
+        self._calibration = 1.0
+        if calibrate and self.model.name in TABLE1_REFERENCE:
+            (p_ref, m_ref), target = TABLE1_REFERENCE[self.model.name]
+            raw = self._uncalibrated_l_exe(
+                DEFAULT_OUTPUT_LENGTH,
+                DEFAULT_INPUT_LENGTH,
+                pipeline_degree=p_ref,
+                tensor_degree=m_ref,
+                batch_size=1,
+            )
+            if raw > 0:
+                self._calibration = target / raw
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    @property
+    def calibration_factor(self) -> float:
+        """Multiplier applied to raw analytic latencies (1.0 when uncalibrated)."""
+        return self._calibration
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def _collective_bandwidth(self, tensor_degree: int) -> float:
+        """Effective per-GPU bandwidth for all-reduce within a tensor group."""
+        if tensor_degree <= self.params.gpus_per_instance:
+            raw = self.network.intra_instance_bandwidth
+        else:
+            raw = self.network.inter_instance_bandwidth
+        return raw * self.params.collective_efficiency
+
+    def _allreduce_time(self, payload_bytes: float, tensor_degree: int) -> float:
+        """Ring all-reduce time for *payload_bytes* across *tensor_degree* GPUs."""
+        if tensor_degree <= 1 or payload_bytes <= 0:
+            return 0.0
+        bandwidth = self._collective_bandwidth(tensor_degree)
+        ring_factor = 2.0 * (tensor_degree - 1) / tensor_degree
+        if tensor_degree <= self.params.gpus_per_instance:
+            latency = self.params.collective_latency_intra
+        else:
+            latency = self.params.collective_latency_inter
+        return ring_factor * payload_bytes / bandwidth + latency
+
+    def _pipeline_handoff_time(self, payload_bytes: float, pipeline_degree: int) -> float:
+        """Cross-stage activation transfer cost for one traversal of the pipeline."""
+        if pipeline_degree <= 1 or payload_bytes <= 0:
+            return 0.0
+        hops = pipeline_degree - 1
+        return hops * (
+            payload_bytes / self.network.inter_instance_bandwidth
+            + self.network.per_transfer_latency
+        )
+
+    def _activation_bytes(self, batch_size: int, tokens: int = 1) -> float:
+        """Bytes of a hidden-state activation tensor for *tokens* per sequence."""
+        return 2.0 * self.model.hidden_size * batch_size * max(tokens, 1)
+
+    # ------------------------------------------------------------------
+    # Phase latencies (uncalibrated internals)
+    # ------------------------------------------------------------------
+    def _decode_iteration_raw(
+        self,
+        context_length: int,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+    ) -> float:
+        _check_parallelism(pipeline_degree, tensor_degree, batch_size)
+        layers_per_stage = self.model.num_layers / pipeline_degree
+        # Weight streaming: every resident parameter is read once per token.
+        weight_bytes_per_gpu = (
+            self.model.num_layers * self.model.layer_param_bytes
+            + self.model.embedding_params * self.model.bytes_per_param
+        ) / (pipeline_degree * tensor_degree)
+        memory_time_per_stage = weight_bytes_per_gpu / (
+            self.gpu.memory_bandwidth * self.params.memory_efficiency
+        )
+        # Compute lower bound (per stage, per GPU).
+        flops_per_stage = (
+            batch_size
+            * self.model.flops_per_token(context_length)
+            * (layers_per_stage / self.model.num_layers)
+            / tensor_degree
+        )
+        peak = self._decode_peak_flops()
+        compute_time_per_stage = flops_per_stage / (
+            peak * self.params.decode_compute_efficiency
+        )
+        stage_time = max(memory_time_per_stage, compute_time_per_stage)
+        # Two all-reduces per layer (attention output + FFN output).
+        allreduce = 2.0 * layers_per_stage * self._allreduce_time(
+            self._activation_bytes(batch_size), tensor_degree
+        )
+        per_stage = stage_time + allreduce
+        handoff = self._pipeline_handoff_time(
+            self._activation_bytes(batch_size), pipeline_degree
+        )
+        return pipeline_degree * per_stage + handoff + self.params.per_iteration_overhead
+
+    def _prefill_raw(
+        self,
+        input_length: int,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+    ) -> float:
+        _check_parallelism(pipeline_degree, tensor_degree, batch_size)
+        if input_length <= 0:
+            return 0.0
+        total_flops = (
+            batch_size
+            * 2.0
+            * self.model.total_params
+            * input_length
+        )
+        peak = self._decode_peak_flops()
+        compute_time = total_flops / (
+            pipeline_degree
+            * tensor_degree
+            * peak
+            * self.params.prefill_compute_efficiency
+        )
+        layers = self.model.num_layers
+        allreduce = 2.0 * layers * self._allreduce_time(
+            self._activation_bytes(batch_size, input_length), tensor_degree
+        )
+        handoff = self._pipeline_handoff_time(
+            self._activation_bytes(batch_size, input_length), pipeline_degree
+        )
+        return compute_time + allreduce + handoff
+
+    def _decode_peak_flops(self) -> float:
+        """Peak FLOPs relevant for matmuls at serving precision."""
+        if self.model.bytes_per_param <= 2:
+            return self.gpu.fp16_flops
+        return self.gpu.fp32_flops
+
+    def _uncalibrated_l_exe(
+        self,
+        output_length: int,
+        input_length: int,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+    ) -> float:
+        prefill = self._prefill_raw(input_length, pipeline_degree, tensor_degree, batch_size)
+        decode = 0.0
+        for i in range(1, output_length + 1):
+            decode += self._decode_iteration_raw(
+                input_length + i, pipeline_degree, tensor_degree, batch_size
+            )
+        return prefill + decode + self.params.per_request_overhead
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def decode_iteration_time(
+        self,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+        context_length: int = DEFAULT_INPUT_LENGTH,
+    ) -> float:
+        """Latency of one incremental decoding iteration, ``t_exe(1)`` in Eq. (2)."""
+        return self._calibration * self._decode_iteration_raw(
+            context_length, pipeline_degree, tensor_degree, batch_size
+        )
+
+    def prefill_time(
+        self,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+        input_length: int = DEFAULT_INPUT_LENGTH,
+    ) -> float:
+        """Latency of the initial phase over the prompt, ``t_exe(S_in)`` in Eq. (1)."""
+        return self._calibration * self._prefill_raw(
+            input_length, pipeline_degree, tensor_degree, batch_size
+        )
+
+    def l_exe(
+        self,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+        input_length: int = DEFAULT_INPUT_LENGTH,
+        output_length: int = DEFAULT_OUTPUT_LENGTH,
+    ) -> float:
+        """End-to-end execution latency ``l_exe(S_out | S_in)`` of Eq. (1)."""
+        return self._calibration * self._uncalibrated_l_exe(
+            output_length, input_length, pipeline_degree, tensor_degree, batch_size
+        )
+
+    def partial_decode_time(
+        self,
+        num_tokens: int,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+        context_length: int = DEFAULT_INPUT_LENGTH,
+    ) -> float:
+        """Time to decode *num_tokens* additional tokens from *context_length*.
+
+        Used by the JIT interruption arranger to decide how many iterations
+        fit in the remaining grace period.
+        """
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        total = 0.0
+        for i in range(1, num_tokens + 1):
+            total += self._decode_iteration_raw(
+                context_length + i, pipeline_degree, tensor_degree, batch_size
+            )
+        return self._calibration * total
+
+    def throughput(
+        self,
+        data_degree: int,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+        input_length: int = DEFAULT_INPUT_LENGTH,
+        output_length: int = DEFAULT_OUTPUT_LENGTH,
+    ) -> float:
+        """Serving throughput ``phi(C)`` in requests/second.
+
+        With ``D`` independent pipelines each completing a batch of ``B``
+        requests every ``l_exe`` seconds.
+        """
+        if data_degree <= 0:
+            raise ValueError("data_degree must be positive")
+        latency = self.l_exe(
+            pipeline_degree, tensor_degree, batch_size, input_length, output_length
+        )
+        if latency <= 0:
+            return float("inf")
+        return data_degree * batch_size / latency
+
+
+def _check_parallelism(pipeline_degree: int, tensor_degree: int, batch_size: int) -> None:
+    if pipeline_degree <= 0 or tensor_degree <= 0:
+        raise ValueError("parallel degrees must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")

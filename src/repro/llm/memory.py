@@ -1,0 +1,201 @@
+"""Per-GPU memory accounting for parallel configurations.
+
+SpotServe's parallelization controller may only propose configurations that
+fit in GPU memory.  For a configuration ``(D, P, M, B)`` each GPU holds:
+
+* a ``1/(P*M)`` slice of the model parameters (model context),
+* the KV cache of its pipeline's in-flight batch, sharded ``1/(P*M)``
+  (cache context; FasterTransformer pre-allocates it for the maximum
+  sequence length),
+* activation workspace for the running batch,
+* a fixed reserve for the CUDA context, cuBLAS workspaces and allocator
+  fragmentation,
+* optionally a migration buffer used while receiving context from other
+  instances (its size is what the memory-optimised migration planner in
+  Algorithm 2 bounds by ``U_max``).
+
+The constants are chosen so the minimum GPU counts of Table 1 are reproduced
+on 16 GB T4 GPUs (see ``tests/test_llm_memory.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .hardware import GB, GPUSpec, T4
+from .spec import ModelSpec
+
+#: Memory held back for the CUDA context, cuBLAS/cuDNN workspaces and
+#: allocator fragmentation, in bytes.
+DEFAULT_RESERVE_BYTES = 3.5 * GB
+
+#: Fixed activation workspace for a running batch, in bytes.
+DEFAULT_ACTIVATION_BYTES = 2.0 * GB
+
+#: Default migration buffer bound ``U_max`` used by the memory-optimised
+#: migration planner, in bytes.
+DEFAULT_MIGRATION_BUFFER_BYTES = 0.5 * GB
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Computes per-GPU memory footprints for a model on a GPU type."""
+
+    model: ModelSpec
+    gpu: GPUSpec = T4
+    reserve_bytes: float = DEFAULT_RESERVE_BYTES
+    activation_bytes: float = DEFAULT_ACTIVATION_BYTES
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def param_bytes_per_gpu(self, pipeline_degree: int, tensor_degree: int) -> float:
+        """Model-context bytes each GPU holds under (P, M) sharding."""
+        _check_degrees(pipeline_degree, tensor_degree)
+        return self.model.total_param_bytes / (pipeline_degree * tensor_degree)
+
+    def kv_cache_bytes_per_gpu(
+        self,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+        sequence_length: Optional[int] = None,
+    ) -> float:
+        """Cache-context bytes each GPU holds for a batch.
+
+        The cache is sharded across both pipeline stages (each stage only
+        caches its own layers) and tensor shards.
+        """
+        _check_degrees(pipeline_degree, tensor_degree)
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        seq = self.model.max_sequence_length if sequence_length is None else sequence_length
+        total = self.model.kv_cache_bytes(seq, batch_size)
+        return total / (pipeline_degree * tensor_degree)
+
+    def workspace_bytes(self, batch_size: int) -> float:
+        """Activation / scratch workspace for a running batch."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        per_sequence = 4.0 * self.model.hidden_size * self.model.max_sequence_length
+        return self.activation_bytes + per_sequence * batch_size
+
+    # ------------------------------------------------------------------
+    # Footprint and feasibility
+    # ------------------------------------------------------------------
+    def per_gpu_bytes(
+        self,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+        sequence_length: Optional[int] = None,
+        migration_buffer_bytes: float = 0.0,
+    ) -> float:
+        """Total bytes a single GPU needs for this deployment."""
+        return (
+            self.param_bytes_per_gpu(pipeline_degree, tensor_degree)
+            + self.kv_cache_bytes_per_gpu(
+                pipeline_degree, tensor_degree, batch_size, sequence_length
+            )
+            + self.workspace_bytes(batch_size)
+            + self.reserve_bytes
+            + max(migration_buffer_bytes, 0.0)
+        )
+
+    def fits(
+        self,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+        sequence_length: Optional[int] = None,
+        migration_buffer_bytes: float = 0.0,
+    ) -> bool:
+        """True when the deployment fits in the GPU's memory."""
+        return (
+            self.per_gpu_bytes(
+                pipeline_degree,
+                tensor_degree,
+                batch_size,
+                sequence_length,
+                migration_buffer_bytes,
+            )
+            <= self.gpu.memory_bytes
+        )
+
+    def headroom_bytes(
+        self,
+        pipeline_degree: int,
+        tensor_degree: int,
+        batch_size: int,
+        sequence_length: Optional[int] = None,
+    ) -> float:
+        """Free bytes left on each GPU (negative when the deployment does not fit)."""
+        return self.gpu.memory_bytes - self.per_gpu_bytes(
+            pipeline_degree, tensor_degree, batch_size, sequence_length
+        )
+
+    def min_gpus(
+        self,
+        batch_size: int = 8,
+        gpus_per_instance: int = 4,
+        max_gpus: int = 64,
+        migration_buffer_bytes: float = 0.0,
+    ) -> int:
+        """Smallest GPU count (multiple of *gpus_per_instance*) that can serve the model.
+
+        A count is serviceable if *some* (P, M) factorisation of it fits in
+        memory with the requested batch size.  This mirrors Table 1's
+        "min #GPUs" column.
+        """
+        if gpus_per_instance <= 0:
+            raise ValueError("gpus_per_instance must be positive")
+        count = gpus_per_instance
+        while count <= max_gpus:
+            if self.best_layout(count, batch_size, migration_buffer_bytes) is not None:
+                return count
+            count += gpus_per_instance
+        raise ValueError(
+            f"{self.model.name} does not fit on {max_gpus} {self.gpu.name} GPUs"
+        )
+
+    def best_layout(
+        self,
+        num_gpus: int,
+        batch_size: int = 8,
+        migration_buffer_bytes: float = 0.0,
+    ) -> Optional[tuple]:
+        """Return a feasible (P, M) for a single pipeline over *num_gpus*.
+
+        Among feasible layouts, the one with the most memory headroom is
+        returned; ``None`` when nothing fits.
+        """
+        if num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        best = None
+        best_headroom = float("-inf")
+        for pipeline_degree in range(1, num_gpus + 1):
+            if num_gpus % pipeline_degree != 0:
+                continue
+            tensor_degree = num_gpus // pipeline_degree
+            if self.model.num_layers % pipeline_degree != 0:
+                continue
+            if self.model.num_heads % tensor_degree != 0:
+                continue
+            if not self.fits(
+                pipeline_degree,
+                tensor_degree,
+                batch_size,
+                migration_buffer_bytes=migration_buffer_bytes,
+            ):
+                continue
+            headroom = self.headroom_bytes(pipeline_degree, tensor_degree, batch_size)
+            if headroom > best_headroom:
+                best_headroom = headroom
+                best = (pipeline_degree, tensor_degree)
+        return best
+
+
+def _check_degrees(pipeline_degree: int, tensor_degree: int) -> None:
+    if pipeline_degree <= 0 or tensor_degree <= 0:
+        raise ValueError("parallel degrees must be positive")

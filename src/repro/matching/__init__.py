@@ -1,0 +1,17 @@
+"""Bipartite graphs and the Kuhn-Munkres matching substrate."""
+
+from .bipartite import BipartiteGraph
+from .hungarian import (
+    assignment_weight,
+    greedy_assignment,
+    maximum_weight_assignment,
+    minimum_cost_assignment,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "assignment_weight",
+    "greedy_assignment",
+    "maximum_weight_assignment",
+    "minimum_cost_assignment",
+]

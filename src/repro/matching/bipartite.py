@@ -1,0 +1,90 @@
+"""Bipartite graph used by the device mapper.
+
+Section 3.3 of the paper models device mapping as a complete weighted
+bipartite graph ``G = (V_a, V_t, E)`` where ``V_a`` is the set of available
+GPU devices, ``V_t`` the set of pipeline-stage-shard positions of the target
+configuration, and the weight of an edge ``(u, v)`` is the number of bytes of
+model and cache context that could be reused if device ``u`` were placed at
+position ``v``.  This module provides a small typed wrapper plus conversion
+to the weight matrix consumed by the Kuhn-Munkres solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from .hungarian import assignment_weight, greedy_assignment, maximum_weight_assignment
+
+LeftNode = TypeVar("LeftNode", bound=Hashable)
+RightNode = TypeVar("RightNode", bound=Hashable)
+
+
+@dataclass
+class BipartiteGraph(Generic[LeftNode, RightNode]):
+    """A weighted bipartite graph between devices and topology positions."""
+
+    left_nodes: List[LeftNode] = field(default_factory=list)
+    right_nodes: List[RightNode] = field(default_factory=list)
+    _weights: Dict[Tuple[LeftNode, RightNode], float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_left(self, node: LeftNode) -> None:
+        """Register a device node."""
+        if node not in self.left_nodes:
+            self.left_nodes.append(node)
+
+    def add_right(self, node: RightNode) -> None:
+        """Register a topology-position node."""
+        if node not in self.right_nodes:
+            self.right_nodes.append(node)
+
+    def set_weight(self, left: LeftNode, right: RightNode, weight: float) -> None:
+        """Set the reuse weight of edge ``(left, right)``."""
+        if weight < 0:
+            raise ValueError("edge weights must be non-negative")
+        self.add_left(left)
+        self.add_right(right)
+        self._weights[(left, right)] = float(weight)
+
+    def weight(self, left: LeftNode, right: RightNode) -> float:
+        """Weight of edge ``(left, right)`` (0 for absent edges)."""
+        return self._weights.get((left, right), 0.0)
+
+    # ------------------------------------------------------------------
+    # Matrix view and matching
+    # ------------------------------------------------------------------
+    def weight_matrix(self) -> np.ndarray:
+        """Dense weight matrix (rows = left/devices, columns = right/positions)."""
+        matrix = np.zeros((len(self.left_nodes), len(self.right_nodes)))
+        for row, left in enumerate(self.left_nodes):
+            for col, right in enumerate(self.right_nodes):
+                matrix[row, col] = self.weight(left, right)
+        return matrix
+
+    def maximum_weight_matching(self) -> Dict[LeftNode, RightNode]:
+        """Optimal matching maximising total reused context (Kuhn-Munkres)."""
+        if not self.left_nodes or not self.right_nodes:
+            return {}
+        pairs = maximum_weight_assignment(self.weight_matrix())
+        return {self.left_nodes[row]: self.right_nodes[col] for row, col in pairs}
+
+    def greedy_matching(self) -> Dict[LeftNode, RightNode]:
+        """Greedy matching baseline used by the mapper ablation."""
+        if not self.left_nodes or not self.right_nodes:
+            return {}
+        pairs = greedy_assignment(self.weight_matrix())
+        return {self.left_nodes[row]: self.right_nodes[col] for row, col in pairs}
+
+    def matching_weight(self, matching: Dict[LeftNode, RightNode]) -> float:
+        """Total weight of *matching*."""
+        return float(sum(self.weight(left, right) for left, right in matching.items()))
+
+    @property
+    def num_edges(self) -> int:
+        """Number of explicitly weighted edges."""
+        return len(self._weights)

@@ -1,0 +1,19 @@
+"""Discrete-event simulation substrate for the SpotServe reproduction."""
+
+from .clock import SimulationClock
+from .engine import Simulator
+from .events import Event, EventQueue, EventType
+from .network import NetworkModel, NetworkSpec, Transfer
+from .rng import RandomStreams
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "EventType",
+    "NetworkModel",
+    "NetworkSpec",
+    "RandomStreams",
+    "SimulationClock",
+    "Simulator",
+    "Transfer",
+]

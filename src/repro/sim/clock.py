@@ -1,0 +1,53 @@
+"""Simulation clock.
+
+A tiny wrapper around a monotonically non-decreasing floating point time.
+Keeping the clock in its own object (rather than a bare float) lets many
+components share a single source of truth for "now" without threading the
+value through every call.
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """Monotonic simulation clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to *time*.
+
+        Raises
+        ------
+        ValueError
+            If *time* is earlier than the current time (the simulator never
+            travels backwards).
+        """
+        if time < self._now - 1e-9:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now:.6f}, requested={time:.6f}"
+            )
+        self._now = max(self._now, float(time))
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by *delta* seconds (must be non-negative)."""
+        if delta < 0:
+            raise ValueError("cannot advance clock by a negative amount")
+        self._now += float(delta)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock to *start* (used between experiment runs)."""
+        if start < 0:
+            raise ValueError("clock cannot be reset before time zero")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SimulationClock(now={self._now:.3f}s)"

@@ -1,0 +1,120 @@
+"""Discrete-event simulation driver.
+
+The :class:`Simulator` owns the clock and the event queue and repeatedly
+dispatches the earliest event, advancing the clock to its timestamp.  Serving
+systems register handlers per :class:`~repro.sim.events.EventType`; events can
+also carry their own callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .clock import SimulationClock
+from .events import Event, EventQueue, EventType
+
+EventHandler = Callable[[Event], None]
+
+
+class Simulator:
+    """Minimal deterministic discrete-event simulator."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = SimulationClock(start_time)
+        self.queue = EventQueue()
+        self._handlers: Dict[EventType, List[EventHandler]] = {}
+        self._dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.clock.now
+
+    @property
+    def dispatched_events(self) -> int:
+        """Number of events dispatched so far (for diagnostics)."""
+        return self._dispatched
+
+    def schedule_at(
+        self,
+        time: float,
+        event_type: EventType = EventType.GENERIC,
+        payload: Optional[dict] = None,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Schedule an event at absolute simulation time *time*."""
+        if time < self.now - 1e-9:
+            raise ValueError(
+                f"cannot schedule event in the past: now={self.now:.3f}, time={time:.3f}"
+            )
+        return self.queue.schedule(max(time, self.now), event_type, payload, callback)
+
+    def schedule_after(
+        self,
+        delay: float,
+        event_type: EventType = EventType.GENERIC,
+        payload: Optional[dict] = None,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Schedule an event *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.now + delay, event_type, payload, callback)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def on(self, event_type: EventType, handler: EventHandler) -> None:
+        """Register *handler* to be invoked for every event of *event_type*."""
+        self._handlers.setdefault(event_type, []).append(handler)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Dispatch the next event, or return ``None`` if the queue is empty."""
+        if not self.queue:
+            return None
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        self._dispatched += 1
+        if event.callback is not None:
+            event.callback(event)
+        for handler in self._handlers.get(event.event_type, []):
+            handler(event)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this time (the clock is
+            still advanced to ``until``).  ``None`` runs until the queue is
+            empty.
+        max_events:
+            Safety valve bounding the number of dispatched events.
+
+        Returns
+        -------
+        int
+            The number of events dispatched by this call.
+        """
+        dispatched = 0
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and dispatched >= max_events:
+                break
+            self.step()
+            dispatched += 1
+        if until is not None:
+            self.clock.advance_to(max(until, self.clock.now))
+        return dispatched

@@ -1,0 +1,136 @@
+"""Event primitives for the discrete-event simulation core.
+
+The SpotServe reproduction is driven by a small discrete-event simulator.
+Everything that happens in the system -- request arrivals, instance
+preemption notifications, the end of a grace period, the completion of a
+decoding batch, the completion of a context migration -- is an :class:`Event`
+scheduled on an :class:`EventQueue` and dispatched in timestamp order.
+
+Events carry an ``order`` tie-breaker so that events scheduled for the same
+instant are processed in the order they were scheduled, which keeps the
+simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Optional
+
+
+class EventType(Enum):
+    """Classification of events used by the serving simulations."""
+
+    REQUEST_ARRIVAL = "request_arrival"
+    PREEMPTION_NOTICE = "preemption_notice"
+    PREEMPTION_FINAL = "preemption_final"
+    ACQUISITION_REQUESTED = "acquisition_requested"
+    ACQUISITION_READY = "acquisition_ready"
+    BATCH_COMPLETION = "batch_completion"
+    MIGRATION_COMPLETE = "migration_complete"
+    RECONFIGURATION = "reconfiguration"
+    WORKLOAD_CHECK = "workload_check"
+    GENERIC = "generic"
+
+
+@dataclass(order=False)
+class Event:
+    """A single simulation event.
+
+    Parameters
+    ----------
+    time:
+        Simulation timestamp (seconds) at which the event fires.
+    event_type:
+        One of :class:`EventType`.
+    payload:
+        Arbitrary event-specific data (e.g. the request, the instance id).
+    callback:
+        Optional callable invoked with the event when it is dispatched.
+    """
+
+    time: float
+    event_type: EventType = EventType.GENERIC
+    payload: Dict[str, Any] = field(default_factory=dict)
+    callback: Optional[Callable[["Event"], None]] = None
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the queue will silently drop it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects ordered by time.
+
+    Ties are broken by insertion order so repeated runs with the same inputs
+    produce identical traces.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, event: Event) -> Event:
+        """Schedule *event* and return it (useful for later cancellation)."""
+        if event.time < 0:
+            raise ValueError(f"cannot schedule event in negative time: {event.time}")
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        self._size += 1
+        return event
+
+    def schedule(
+        self,
+        time: float,
+        event_type: EventType = EventType.GENERIC,
+        payload: Optional[Dict[str, Any]] = None,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Convenience wrapper building an :class:`Event` and pushing it."""
+        event = Event(
+            time=time,
+            event_type=event_type,
+            payload=payload or {},
+            callback=callback,
+        )
+        return self.push(event)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty (after discarding cancelled events).
+        """
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            self._size -= 1
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from an empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event, or ``None`` if empty."""
+        while self._heap:
+            time, _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                self._size -= 1
+                continue
+            return time
+        return None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._size = 0

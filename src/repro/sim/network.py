@@ -1,0 +1,135 @@
+"""Network model used to cost context migration.
+
+SpotServe migrates model context (parameters) and cache context (KV cache)
+between GPU instances with batched asynchronous NCCL send/recv.  The paper's
+migration planner only needs to know *how long a set of transfers takes* and
+*how much buffer memory they occupy*; both are functions of tensor sizes and
+link bandwidths.  This module provides that model.
+
+Two link classes are distinguished, mirroring the hierarchical device mapper
+in the paper (Section 3.3): fast intra-instance links (NVLink / PCIe between
+GPUs on the same machine) and slower inter-instance links (cloud Ethernet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+GB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Bandwidth/latency parameters of the simulated cluster fabric.
+
+    Attributes
+    ----------
+    inter_instance_bandwidth:
+        Point-to-point bandwidth between two different instances, bytes/s.
+        AWS g4dn.12xlarge offers 50 Gbit/s of instance networking; a single
+        TCP/NCCL flow realistically sustains a fraction of that.
+    intra_instance_bandwidth:
+        Bandwidth between GPUs on the same instance (PCIe 3.0 x16 on g4dn),
+        bytes/s.
+    per_transfer_latency:
+        Fixed startup latency per transfer (connection setup, NCCL kernel
+        launch), seconds.
+    concurrent_streams:
+        Number of transfers that can proceed in parallel across distinct
+        instance pairs without sharing bandwidth.
+    """
+
+    inter_instance_bandwidth: float = 4.0 * GB
+    intra_instance_bandwidth: float = 12.0 * GB
+    per_transfer_latency: float = 0.001
+    concurrent_streams: int = 8
+
+    def __post_init__(self) -> None:
+        if self.inter_instance_bandwidth <= 0 or self.intra_instance_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.per_transfer_latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.concurrent_streams < 1:
+            raise ValueError("need at least one concurrent stream")
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A single point-to-point context transfer.
+
+    ``src`` and ``dst`` identify devices as ``(instance_id, gpu_index)``
+    tuples; ``size_bytes`` is the payload size.  ``tag`` is free-form and used
+    by the migration planner to distinguish model-context from cache-context
+    transfers.
+    """
+
+    src: Tuple[str, int]
+    dst: Tuple[str, int]
+    size_bytes: float
+    tag: str = "model"
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination GPUs share an instance."""
+        return self.src[0] == self.dst[0]
+
+    @property
+    def is_noop(self) -> bool:
+        """True when source and destination are the same device."""
+        return self.src == self.dst
+
+
+class NetworkModel:
+    """Estimates transfer durations for context migration."""
+
+    def __init__(self, spec: Optional[NetworkSpec] = None) -> None:
+        self.spec = spec or NetworkSpec()
+
+    def transfer_time(self, transfer: Transfer) -> float:
+        """Duration in seconds of a single transfer."""
+        if transfer.is_noop or transfer.size_bytes <= 0:
+            return 0.0
+        bandwidth = (
+            self.spec.intra_instance_bandwidth
+            if transfer.is_local
+            else self.spec.inter_instance_bandwidth
+        )
+        return self.spec.per_transfer_latency + transfer.size_bytes / bandwidth
+
+    def batch_time(self, transfers: Iterable[Transfer]) -> float:
+        """Duration of a batch of transfers executed together.
+
+        Transfers whose endpoints do not share an instance pair run in
+        parallel (up to ``concurrent_streams``); transfers sharing an
+        endpoint pair are serialized.  This mirrors batched NCCL send/recv
+        where distinct peer pairs progress concurrently.
+        """
+        per_pair: dict = {}
+        for transfer in transfers:
+            if transfer.is_noop or transfer.size_bytes <= 0:
+                continue
+            key = (transfer.src[0], transfer.dst[0])
+            per_pair[key] = per_pair.get(key, 0.0) + self.transfer_time(transfer)
+        if not per_pair:
+            return 0.0
+        durations = sorted(per_pair.values(), reverse=True)
+        streams = self.spec.concurrent_streams
+        if len(durations) <= streams:
+            return durations[0]
+        # Greedy multiprocessor scheduling of pair-serialized transfer chains
+        # onto the available parallel streams (longest-processing-time rule).
+        loads = [0.0] * streams
+        for duration in durations:
+            loads[loads.index(min(loads))] += duration
+        return max(loads)
+
+    def total_bytes(self, transfers: Sequence[Transfer]) -> float:
+        """Total payload moved by *transfers*, excluding no-ops."""
+        return float(sum(t.size_bytes for t in transfers if not t.is_noop))
+
+    def remote_bytes(self, transfers: Sequence[Transfer]) -> float:
+        """Payload that crosses instance boundaries (the expensive part)."""
+        return float(
+            sum(t.size_bytes for t in transfers if not t.is_noop and not t.is_local)
+        )

@@ -1,0 +1,34 @@
+"""Request workloads: arrival processes and request objects."""
+
+from .arrival import (
+    DEFAULT_ARRIVAL_RATES,
+    ArrivalProcess,
+    FixedArrivals,
+    GammaArrivals,
+    PoissonArrivals,
+    TimeVaryingArrivals,
+    default_rate_for,
+)
+from .maf import MAFProfile, synthesize_maf_profile
+from .request import (
+    DEFAULT_INPUT_TOKENS,
+    DEFAULT_OUTPUT_TOKENS,
+    Request,
+    RequestState,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "DEFAULT_ARRIVAL_RATES",
+    "DEFAULT_INPUT_TOKENS",
+    "DEFAULT_OUTPUT_TOKENS",
+    "FixedArrivals",
+    "GammaArrivals",
+    "MAFProfile",
+    "PoissonArrivals",
+    "Request",
+    "RequestState",
+    "TimeVaryingArrivals",
+    "default_rate_for",
+    "synthesize_maf_profile",
+]

@@ -1,0 +1,122 @@
+"""Tests for spot availability traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.trace import (
+    BUILTIN_TRACES,
+    AvailabilityTrace,
+    TraceEvent,
+    TraceEventKind,
+    generate_random_trace,
+    get_trace,
+    trace_as,
+    trace_bs,
+)
+
+
+class TestTraceEvents:
+    def test_delta_sign(self):
+        assert TraceEvent(10.0, TraceEventKind.ACQUIRE, 2).delta == 2
+        assert TraceEvent(10.0, TraceEventKind.PREEMPT, 3).delta == -3
+
+    def test_invalid_events_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(-1.0, TraceEventKind.ACQUIRE)
+        with pytest.raises(ValueError):
+            TraceEvent(1.0, TraceEventKind.ACQUIRE, 0)
+
+
+class TestBuiltinTraces:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_TRACES))
+    def test_builtin_traces_are_valid(self, name):
+        trace = BUILTIN_TRACES[name]()
+        assert trace.min_instances >= 0
+        assert trace.max_instances <= 16
+        assert trace.duration > 0
+
+    def test_figure5_shape(self):
+        """AS and BS are 20-minute segments of a fleet of ~12 4-GPU instances
+        that both dip and recover (Figure 5)."""
+        for trace in (trace_as(), trace_bs()):
+            assert trace.duration == pytest.approx(1200.0)
+            assert trace.initial_instances == 12
+            assert trace.gpus_per_instance == 4
+            assert trace.min_instances < trace.initial_instances
+            assert trace.preemption_times()
+            assert trace.acquisition_times()
+
+    def test_bs_is_harsher_than_as(self):
+        assert len(trace_bs().preemption_times()) > len(trace_as().preemption_times())
+        assert trace_bs().min_instances <= trace_as().min_instances
+
+    def test_get_trace_aliases(self):
+        assert get_trace("as").name == "AS"
+        assert get_trace("BS").name == "BS"
+        assert get_trace("A'S").name == "A'S"
+
+    def test_get_trace_unknown(self):
+        with pytest.raises(KeyError):
+            get_trace("CS")
+
+
+class TestTraceQueries:
+    def test_instances_at(self):
+        trace = trace_as()
+        assert trace.instances_at(0.0) == 12
+        assert trace.instances_at(200.0) == 11
+        assert trace.instances_at(10_000.0) == trace.instance_counts()[-1][1]
+
+    def test_average_between_min_and_max(self):
+        trace = trace_bs()
+        assert trace.min_instances <= trace.average_instances() <= trace.max_instances
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrace(
+                name="bad",
+                initial_instances=1,
+                events=[TraceEvent(1.0, TraceEventKind.PREEMPT, 5)],
+            )
+
+    def test_scaled_trace(self):
+        trace = trace_as()
+        scaled = trace.scaled(2.0)
+        assert scaled.duration == pytest.approx(2 * trace.duration)
+        assert scaled.instances_at(2 * 200.0) == trace.instances_at(200.0)
+        with pytest.raises(ValueError):
+            trace.scaled(0.0)
+
+    def test_events_sorted_on_construction(self):
+        trace = AvailabilityTrace(
+            name="t",
+            initial_instances=4,
+            events=[
+                TraceEvent(100.0, TraceEventKind.PREEMPT, 1),
+                TraceEvent(50.0, TraceEventKind.ACQUIRE, 1),
+            ],
+        )
+        assert [event.time for event in trace.events] == [50.0, 100.0]
+
+
+class TestRandomTraces:
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_random_trace_stays_within_bounds(self, seed):
+        trace = generate_random_trace(
+            "rand", duration=1200.0, initial_instances=8, min_instances=2, max_instances=12, seed=seed
+        )
+        counts = [count for _, count in trace.instance_counts()]
+        assert min(counts) >= 2
+        assert max(counts) <= 12
+
+    def test_random_trace_deterministic_per_seed(self):
+        a = generate_random_trace("a", seed=7)
+        b = generate_random_trace("b", seed=7)
+        assert [(e.time, e.kind, e.count) for e in a.events] == [
+            (e.time, e.kind, e.count) for e in b.events
+        ]
+
+    def test_invalid_initial_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_random_trace("bad", initial_instances=1, min_instances=2)

@@ -1,0 +1,112 @@
+"""Tests for stateful inference recovery (the JIT interruption arranger)."""
+
+import pytest
+
+from repro.core.config import ParallelConfig
+from repro.core.interruption import InterruptionArranger
+from repro.engine.batching import Batch
+from repro.llm.costmodel import LatencyModel
+from repro.llm.spec import GPT_20B
+from repro.workload.request import Request
+
+
+@pytest.fixture()
+def arranger():
+    return InterruptionArranger(LatencyModel(GPT_20B))
+
+
+def make_batch(size=4, output_tokens=128, committed=0):
+    batch = Batch([Request(arrival_time=0.0, output_tokens=output_tokens) for _ in range(size)])
+    if committed:
+        batch.commit_tokens(committed)
+    return batch
+
+
+CONFIG = ParallelConfig(1, 3, 4, 4)
+
+
+class TestPreemptionArrangement:
+    def test_tokens_fit_in_grace_minus_migration(self, arranger):
+        batch = make_batch()
+        now, deadline, migration = 100.0, 130.0, 5.0
+        arrangement = arranger.arrange_preemption(batch, CONFIG, now, deadline, migration)
+        iteration = arranger.latency_model.decode_iteration_time(3, 4, 4, batch.input_tokens)
+        assert arrangement.kind == "preemption"
+        assert arrangement.tokens_to_decode >= 0
+        assert arrangement.tokens_to_decode * iteration < (deadline - now) - migration
+        # Either the whole batch finishes, or one more iteration would not fit.
+        if arrangement.tokens_to_decode < batch.remaining_tokens:
+            assert (arrangement.tokens_to_decode + 1) * iteration >= (deadline - now) - migration
+        assert arrangement.stop_time <= deadline
+
+    def test_no_time_left_stops_immediately(self, arranger):
+        batch = make_batch(committed=10)
+        arrangement = arranger.arrange_preemption(batch, CONFIG, 100.0, 101.0, 5.0)
+        assert arrangement.tokens_to_decode == 0
+        assert arrangement.stop_time == pytest.approx(100.0)
+
+    def test_migration_only_when_it_pays_off(self, arranger):
+        # Barely any progress and a large migration cost: plain rerouting wins.
+        batch = make_batch(committed=0)
+        arrangement = arranger.arrange_preemption(batch, CONFIG, 100.0, 102.0, migration_time=50.0)
+        assert arrangement.reroutes
+        # Plenty of progress: keeping the cache is worth the migration.
+        advanced = make_batch(committed=100)
+        arrangement = arranger.arrange_preemption(advanced, CONFIG, 100.0, 130.0, migration_time=5.0)
+        assert arrangement.migrate_cache
+
+    def test_tokens_capped_at_remaining_work(self, arranger):
+        batch = make_batch(output_tokens=4, committed=2)
+        arrangement = arranger.arrange_preemption(batch, CONFIG, 0.0, 1000.0, 1.0)
+        assert arrangement.tokens_to_decode <= 2
+
+    def test_idle_pipeline_arrangement(self, arranger):
+        arrangement = arranger.arrange_preemption(None, CONFIG, 10.0, 40.0, 5.0)
+        assert arrangement.tokens_to_decode == 0
+        assert arrangement.stop_time == 10.0
+
+
+class TestAcquisitionArrangement:
+    def test_decodes_just_enough_to_cover_initialisation(self, arranger):
+        batch = make_batch()
+        now, ready = 100.0, 140.0
+        arrangement = arranger.arrange_acquisition(batch, CONFIG, now, ready, migration_time=2.0)
+        iteration = arranger.latency_model.decode_iteration_time(3, 4, 4, batch.input_tokens)
+        assert arrangement.kind == "acquisition"
+        if arrangement.tokens_to_decode < batch.remaining_tokens:
+            assert arrangement.tokens_to_decode * iteration >= (ready - now) - iteration
+        assert (arrangement.tokens_to_decode - 1) * iteration < (ready - now)
+
+    def test_ready_in_the_past_stops_now(self, arranger):
+        batch = make_batch()
+        arrangement = arranger.arrange_acquisition(batch, CONFIG, 100.0, 90.0, 2.0)
+        assert arrangement.tokens_to_decode == 0
+
+    def test_preemption_maximises_acquisition_minimises(self, arranger):
+        """Same time budget: the preemption arrangement squeezes in at most as
+        many iterations as would fit, the acquisition arrangement runs at
+        least enough to cover the budget, so preemption <= acquisition + 1."""
+        batch_a = make_batch()
+        batch_b = make_batch()
+        budget = 20.0
+        pre = arranger.arrange_preemption(batch_a, CONFIG, 0.0, budget, 0.0)
+        acq = arranger.arrange_acquisition(batch_b, CONFIG, 0.0, budget, 0.0)
+        assert pre.tokens_to_decode <= acq.tokens_to_decode + 1
+
+
+class TestFaultTolerance:
+    def test_overlapping_deadlines_take_earliest(self, arranger):
+        assert arranger.merge_overlapping_deadlines([150.0, 130.0, 170.0]) == 130.0
+        assert arranger.merge_overlapping_deadlines([]) is None
+
+    def test_early_preemption_abandons_cache(self, arranger):
+        batch = make_batch(committed=50)
+        original = arranger.arrange_preemption(batch, CONFIG, 0.0, 30.0, 2.0)
+        revised = arranger.rearrange_for_early_preemption(original, actual_deadline=5.0, now=4.0)
+        assert revised.tokens_to_decode == 0
+        assert not revised.migrate_cache
+        assert revised.stop_time <= 5.0
+
+    def test_delayed_join_when_migration_still_running(self, arranger):
+        assert arranger.should_delay_join(pending_migration_time=20.0, ready_time=110.0, now=100.0)
+        assert not arranger.should_delay_join(pending_migration_time=5.0, ready_time=110.0, now=100.0)

@@ -1,0 +1,75 @@
+"""Tests for per-GPU context daemons and the meta-context manager."""
+
+import pytest
+
+from repro.engine.context import ContextDaemon, MetaContextManager
+from repro.engine.placement import TopologyPosition, position_model_bytes
+from repro.llm.spec import GPT_20B
+
+
+class TestContextDaemon:
+    def test_install_and_clear_model_context(self):
+        daemon = ContextDaemon(("inst-0", 0))
+        daemon.install_model_context(2, 4, TopologyPosition(0, 1, 2))
+        assert daemon.model_context is not None
+        assert daemon.resident_bytes(GPT_20B) == pytest.approx(
+            position_model_bytes(GPT_20B, 2, 4)
+        )
+        daemon.clear()
+        assert daemon.model_context is None
+        assert daemon.resident_bytes(GPT_20B) == 0.0
+
+    def test_cache_context_adds_bytes(self):
+        daemon = ContextDaemon(("inst-0", 0))
+        daemon.install_model_context(2, 4, TopologyPosition(0, 0, 0))
+        before = daemon.resident_bytes(GPT_20B)
+        daemon.install_cache_context(2, 4, TopologyPosition(0, 0, 0), batch_size=4, cached_tokens=600)
+        assert daemon.resident_bytes(GPT_20B) > before
+        daemon.clear_cache_context()
+        assert daemon.resident_bytes(GPT_20B) == pytest.approx(before)
+
+
+class TestMetaContextManager:
+    def test_daemon_created_on_demand(self):
+        manager = MetaContextManager(GPT_20B)
+        daemon = manager.daemon(("inst-0", 0))
+        assert manager.daemon(("inst-0", 0)) is daemon
+        assert ("inst-0", 0) in manager.devices()
+
+    def test_drop_instance_removes_all_gpus(self):
+        manager = MetaContextManager(GPT_20B)
+        for gpu in range(4):
+            manager.daemon(("inst-0", gpu))
+        manager.daemon(("inst-1", 0))
+        manager.drop_instance("inst-0")
+        assert manager.devices() == [("inst-1", 0)]
+
+    def test_drop_device(self):
+        manager = MetaContextManager(GPT_20B)
+        manager.daemon(("inst-0", 0))
+        manager.drop_device(("inst-0", 0))
+        assert manager.devices() == []
+
+    def test_devices_with_model_context(self):
+        manager = MetaContextManager(GPT_20B)
+        manager.daemon(("inst-0", 0)).install_model_context(1, 2, TopologyPosition(0, 0, 0))
+        manager.daemon(("inst-0", 1))
+        assert manager.devices_with_model_context() == [("inst-0", 0)]
+
+    def test_replica_coverage(self):
+        manager = MetaContextManager(GPT_20B)
+        # Install only half of a (P=1, M=2) deployment.
+        manager.daemon(("inst-0", 0)).install_model_context(1, 2, TopologyPosition(0, 0, 0))
+        assert manager.model_replica_coverage(1, 2) == pytest.approx(0.5)
+        manager.daemon(("inst-0", 1)).install_model_context(1, 2, TopologyPosition(0, 0, 1))
+        assert manager.model_replica_coverage(1, 2) == pytest.approx(1.0)
+        # Coverage for a different deployment shape is not satisfied.
+        assert manager.model_replica_coverage(2, 2) == pytest.approx(0.0)
+
+    def test_total_resident_bytes(self):
+        manager = MetaContextManager(GPT_20B)
+        manager.daemon(("inst-0", 0)).install_model_context(2, 2, TopologyPosition(0, 0, 0))
+        manager.daemon(("inst-0", 1)).install_model_context(2, 2, TopologyPosition(0, 0, 1))
+        assert manager.total_resident_bytes() == pytest.approx(
+            2 * position_model_bytes(GPT_20B, 2, 2)
+        )

@@ -1,0 +1,153 @@
+"""Tests for the simulated inference pipeline (token-level decoding progress)."""
+
+import pytest
+
+from repro.engine.batching import Batch
+from repro.engine.pipeline import InferencePipeline, PipelineAssignment
+from repro.engine.placement import TopologyPosition, mesh_positions
+from repro.llm.costmodel import LatencyModel
+from repro.llm.spec import GPT_20B
+from repro.workload.request import Request
+
+
+def make_pipeline(pipeline_degree=3, tensor_degree=4, batch_size=4, pipeline_index=0):
+    assignment = PipelineAssignment(
+        pipeline_index=pipeline_index,
+        pipeline_degree=pipeline_degree,
+        tensor_degree=tensor_degree,
+    )
+    for position in mesh_positions(1, pipeline_degree, tensor_degree):
+        actual = TopologyPosition(pipeline_index, position.stage_index, position.shard_index)
+        gpu_index = position.stage_index * tensor_degree + position.shard_index
+        assignment.devices[actual] = (f"inst-{gpu_index // 4}", gpu_index % 4)
+    return InferencePipeline(assignment, LatencyModel(GPT_20B), batch_size)
+
+
+def make_batch(size=4, output_tokens=64):
+    return Batch([Request(arrival_time=0.0, output_tokens=output_tokens) for _ in range(size)])
+
+
+class TestAssignment:
+    def test_fully_assigned(self):
+        pipeline = make_pipeline()
+        assert pipeline.assignment.is_fully_assigned
+        assert len(pipeline.assignment.device_ids) == 12
+        assert len(pipeline.assignment.instance_ids) == 3
+
+    def test_device_at_lookup(self):
+        pipeline = make_pipeline()
+        assert pipeline.assignment.device_at(0, 0) == ("inst-0", 0)
+        assert pipeline.assignment.device_at(2, 3) is not None
+
+    def test_uses_instance(self):
+        pipeline = make_pipeline()
+        assert pipeline.uses_instance("inst-0")
+        assert not pipeline.uses_instance("inst-99")
+
+
+class TestDecoding:
+    def test_execution_time_matches_cost_model(self):
+        pipeline = make_pipeline()
+        batch = make_batch()
+        model = LatencyModel(GPT_20B)
+        expected = model.prefill_time(3, 4, 4, batch.input_tokens) + batch.output_tokens * model.decode_iteration_time(3, 4, 4, batch.input_tokens)
+        assert pipeline.execution_time(batch) == pytest.approx(expected)
+
+    def test_start_batch_returns_completion_time(self):
+        pipeline = make_pipeline()
+        batch = make_batch()
+        finish = pipeline.start_batch(batch, time=10.0)
+        assert finish == pytest.approx(10.0 + pipeline.execution_time(batch))
+        assert pipeline.is_busy
+
+    def test_double_start_rejected(self):
+        pipeline = make_pipeline()
+        pipeline.start_batch(make_batch(), time=0.0)
+        with pytest.raises(RuntimeError):
+            pipeline.start_batch(make_batch(), time=1.0)
+
+    def test_tokens_decoded_by_grows_over_time(self):
+        pipeline = make_pipeline()
+        batch = make_batch()
+        finish = pipeline.start_batch(batch, time=0.0)
+        assert pipeline.tokens_decoded_by(0.0) == 0
+        midway = pipeline.tokens_decoded_by(finish / 2)
+        assert 0 < midway < batch.output_tokens
+        assert pipeline.tokens_decoded_by(finish + 1) == batch.output_tokens
+
+    def test_commit_progress_is_monotone(self):
+        pipeline = make_pipeline()
+        batch = make_batch()
+        finish = pipeline.start_batch(batch, time=0.0)
+        first = pipeline.commit_progress(finish / 3)
+        second = pipeline.commit_progress(2 * finish / 3)
+        assert first >= 0 and second >= 0
+        assert batch.committed_tokens == first + second
+        # Committing again at the same time adds nothing.
+        assert pipeline.commit_progress(2 * finish / 3) == 0
+
+    def test_complete_batch_finalises_requests(self):
+        pipeline = make_pipeline()
+        batch = make_batch()
+        finish = pipeline.start_batch(batch, time=0.0)
+        completed = pipeline.complete_batch(finish)
+        assert completed.is_complete
+        assert all(r.completion_time == finish for r in completed.requests)
+        assert not pipeline.is_busy
+        assert pipeline.total_batches_completed == 1
+        assert pipeline.total_tokens_generated == batch.output_tokens * batch.size
+
+    def test_complete_without_batch_rejected(self):
+        with pytest.raises(RuntimeError):
+            make_pipeline().complete_batch(1.0)
+
+
+class TestInterruption:
+    def test_interrupt_preserving_cache_commits_progress(self):
+        pipeline = make_pipeline()
+        batch = make_batch()
+        finish = pipeline.start_batch(batch, time=0.0)
+        interrupted = pipeline.interrupt(finish / 2, preserve_cache=True)
+        assert interrupted is batch
+        assert batch.committed_tokens > 0
+        assert not pipeline.is_busy
+        assert all(r.interruptions == 1 for r in batch.requests)
+
+    def test_interrupt_without_cache_drops_progress(self):
+        pipeline = make_pipeline()
+        batch = make_batch()
+        finish = pipeline.start_batch(batch, time=0.0)
+        pipeline.interrupt(finish / 2, preserve_cache=False)
+        assert batch.committed_tokens == 0
+        assert all(not r.cache_preserved for r in batch.requests)
+
+    def test_interrupt_idle_pipeline_returns_none(self):
+        assert make_pipeline().interrupt(1.0) is None
+
+    def test_resume_skips_prefill_and_committed_tokens(self):
+        pipeline = make_pipeline()
+        batch = make_batch()
+        finish = pipeline.start_batch(batch, time=0.0)
+        pipeline.interrupt(finish / 2, preserve_cache=True)
+        committed = batch.committed_tokens
+        assert committed > 0
+
+        fresh_time = pipeline.execution_time(batch, resume=False)
+        resume_time = pipeline.execution_time(batch, resume=True)
+        assert resume_time < fresh_time
+        iteration = pipeline.latency_model.decode_iteration_time(3, 4, batch.size, batch.input_tokens)
+        assert resume_time == pytest.approx((batch.output_tokens - committed) * iteration)
+
+    def test_restart_without_resume_drops_cache(self):
+        pipeline = make_pipeline()
+        batch = make_batch()
+        finish = pipeline.start_batch(batch, time=0.0)
+        pipeline.interrupt(finish / 2, preserve_cache=True)
+        assert batch.committed_tokens > 0
+        pipeline.start_batch(batch, time=finish, resume=False)
+        assert batch.committed_tokens == 0
+
+    def test_invalid_batch_size_rejected(self):
+        assignment = PipelineAssignment(0, 1, 1)
+        with pytest.raises(ValueError):
+            InferencePipeline(assignment, LatencyModel(GPT_20B), 0)

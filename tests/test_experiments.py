@@ -1,0 +1,187 @@
+"""Tests for the experiment harness: metrics, runner, scenarios, ablations."""
+
+import math
+
+import pytest
+
+from repro.baselines.rerouting import RequestReroutingSystem
+from repro.core.server import SpotServeOptions, SpotServeSystem
+from repro.cloud.trace import AvailabilityTrace, TraceEvent, TraceEventKind, get_trace
+from repro.experiments.ablation import ABLATION_ORDER, ablation_options
+from repro.experiments.metrics import (
+    REPORTED_PERCENTILES,
+    LatencyStats,
+    improvement_factor,
+    summarize_latencies,
+)
+from repro.experiments.runner import run_comparison, run_serving_experiment
+from repro.experiments.scenarios import (
+    COMPARED_SYSTEMS,
+    DEFAULT_WORKLOAD_SEEDS,
+    STABLE_MODELS,
+    STABLE_TRACES,
+    fluctuating_workload_scenario,
+    stable_workload_scenario,
+)
+from repro.workload.arrival import FixedArrivals, GammaArrivals
+
+
+class TestLatencyStats:
+    def test_basic_statistics(self):
+        stats = LatencyStats.from_latencies([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.p99 <= stats.maximum
+        assert stats.p90 <= stats.p99
+
+    def test_reported_percentiles_match_paper_axis(self):
+        assert REPORTED_PERCENTILES == (90, 95, 96, 97, 98, 99)
+        stats = LatencyStats.from_latencies(range(1, 101))
+        assert set(stats.percentiles) == set(REPORTED_PERCENTILES)
+
+    def test_empty_input_gives_nans(self):
+        stats = LatencyStats.from_latencies([])
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.p99)
+
+    def test_as_row(self):
+        row = LatencyStats.from_latencies([1.0, 2.0]).as_row()
+        assert row["count"] == 2
+        assert "p99" in row and "avg" in row
+
+    def test_improvement_factor(self):
+        assert improvement_factor(10.0, 5.0) == pytest.approx(2.0)
+        assert improvement_factor(10.0, 0.0) == float("inf")
+
+    def test_summarize_latencies(self):
+        summary = summarize_latencies({"a": [1.0, 2.0], "b": [4.0]})
+        assert summary["a"].count == 2
+        assert summary["b"].mean == 4.0
+
+
+def tiny_trace():
+    return AvailabilityTrace(
+        name="tiny",
+        initial_instances=6,
+        events=[TraceEvent(150.0, TraceEventKind.PREEMPT, 1)],
+        duration=400.0,
+    )
+
+
+class TestRunner:
+    def test_experiment_result_fields(self):
+        result = run_serving_experiment(
+            SpotServeSystem,
+            "GPT-20B",
+            tiny_trace(),
+            FixedArrivals([50.0, 120.0, 200.0]),
+            drain_time=400.0,
+        )
+        assert result.system_name == "SpotServe"
+        assert result.model_name == "GPT-20B"
+        assert result.trace_name == "tiny"
+        assert result.submitted_requests == 3
+        assert result.completed_requests == 3
+        assert result.completion_ratio == pytest.approx(1.0)
+        assert result.total_cost > 0
+        assert result.tokens_generated >= 3 * 128
+        assert result.cost_per_token > 0
+        assert "p99_latency" in result.summary()
+
+    def test_runner_is_deterministic(self):
+        def run_once():
+            return run_serving_experiment(
+                SpotServeSystem,
+                "GPT-20B",
+                tiny_trace(),
+                GammaArrivals(rate=0.25, cv=2.0, seed=5),
+                drain_time=400.0,
+            )
+
+        a, b = run_once(), run_once()
+        assert a.latency.mean == pytest.approx(b.latency.mean)
+        assert a.total_cost == pytest.approx(b.total_cost)
+
+    def test_comparison_replays_identical_workload(self):
+        results = run_comparison(
+            {"SpotServe": SpotServeSystem, "Rerouting": RequestReroutingSystem},
+            "GPT-20B",
+            tiny_trace(),
+            GammaArrivals(rate=0.25, cv=2.0, seed=5),
+            drain_time=400.0,
+        )
+        assert set(results) == {"SpotServe", "Rerouting"}
+        assert (
+            results["SpotServe"].submitted_requests
+            == results["Rerouting"].submitted_requests
+        )
+
+
+class TestScenarios:
+    def test_stable_scenarios_cover_the_figure6_grid(self):
+        assert set(STABLE_MODELS) == {"OPT-6.7B", "GPT-20B", "LLaMA-30B"}
+        assert set(STABLE_TRACES) == {"AS", "BS"}
+        assert set(COMPARED_SYSTEMS) == {"SpotServe", "Reparallelization", "Rerouting"}
+
+    def test_scenario_uses_paper_rates_and_seeds(self):
+        scenario = stable_workload_scenario("GPT-20B", "BS")
+        assert scenario.arrival_rate == pytest.approx(0.35)
+        assert scenario.trace.name == "BS"
+        assert scenario.seed == DEFAULT_WORKLOAD_SEEDS["GPT-20B"]
+        assert not scenario.allow_on_demand
+        assert scenario.options().allow_on_demand is False
+
+    def test_plus_o_variant_enables_on_demand(self):
+        scenario = stable_workload_scenario("GPT-20B", "AS", allow_on_demand=True)
+        assert scenario.options().allow_on_demand is True
+
+    def test_scenario_duration_override(self):
+        scenario = stable_workload_scenario("GPT-20B", "AS", duration=300.0)
+        assert scenario.duration == 300.0
+        assert all(event.time < 300.0 for event in scenario.trace.events)
+
+    def test_fluctuating_scenario(self):
+        scenario, process = fluctuating_workload_scenario()
+        assert scenario.allow_on_demand
+        rates = [process.rate_at(t) for t in (0.0, scenario.duration / 2, scenario.duration - 1)]
+        assert max(rates) > min(rates)
+
+    def test_workload_realisation_matches_nominal_rate(self):
+        """The representative seeds keep the realized request count within
+        ~12% of rate * duration for every model."""
+        for model in STABLE_MODELS:
+            scenario = stable_workload_scenario(model, "AS")
+            count = len(scenario.arrival_process().arrival_times(scenario.duration))
+            nominal = scenario.arrival_rate * scenario.duration
+            assert abs(count - nominal) / nominal < 0.12
+
+
+class TestAblation:
+    def test_ablation_presets_are_cumulative(self):
+        presets = ablation_options()
+        assert list(presets) == ABLATION_ORDER
+        assert presets["SpotServe"].adaptive_controller
+        assert not presets["- Controller"].adaptive_controller
+        assert not presets["- Migration Planner"].memory_optimized_migration
+        assert not presets["- Migration Planner"].adaptive_controller
+        assert not presets["- Interruption Arranger"].stateful_recovery
+        assert not presets["- Device Mapper"].optimal_device_mapping
+        # Every later preset disables at least everything the previous one did.
+        flags = [
+            "adaptive_controller",
+            "memory_optimized_migration",
+            "progressive_migration",
+            "stateful_recovery",
+            "optimal_device_mapping",
+        ]
+        for earlier, later in zip(ABLATION_ORDER, ABLATION_ORDER[1:]):
+            for flag in flags:
+                if not getattr(presets[earlier], flag):
+                    assert not getattr(presets[later], flag)
+
+    def test_ablation_presets_respect_on_demand_flag(self):
+        presets = ablation_options(allow_on_demand=True)
+        assert all(options.allow_on_demand for options in presets.values())

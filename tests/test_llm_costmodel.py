@@ -1,0 +1,180 @@
+"""Tests for the analytic latency/throughput cost model and offline profiler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm.costmodel import (
+    DEFAULT_INPUT_LENGTH,
+    DEFAULT_OUTPUT_LENGTH,
+    TABLE1_REFERENCE,
+    CostModelParams,
+    LatencyModel,
+)
+from repro.llm.memory import MemoryModel
+from repro.llm.profiler import OfflineProfiler
+from repro.llm.spec import GPT_20B, OPT_6_7B, get_model
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", sorted(TABLE1_REFERENCE))
+    def test_reference_latency_reproduced_exactly(self, name):
+        """Table 1's l_exe(B=1) numbers are reproduced at the reference configs."""
+        (p, m), target = TABLE1_REFERENCE[name]
+        model = LatencyModel(name)
+        assert model.l_exe(p, m, 1) == pytest.approx(target, rel=1e-6)
+
+    def test_calibration_factor_is_moderate(self):
+        """The analytic model should be in the right ballpark before calibration."""
+        for name in TABLE1_REFERENCE:
+            factor = LatencyModel(name).calibration_factor
+            assert 0.3 < factor < 3.0
+
+    def test_uncalibrated_model_has_unit_factor(self):
+        model = LatencyModel(GPT_20B, calibrate=False)
+        assert model.calibration_factor == 1.0
+
+
+class TestLatencyStructure:
+    def test_latency_increases_with_output_length(self):
+        model = LatencyModel(GPT_20B)
+        assert model.l_exe(3, 4, 1, output_length=256) > model.l_exe(3, 4, 1, output_length=64)
+
+    def test_latency_increases_with_batch_size(self):
+        model = LatencyModel(GPT_20B)
+        assert model.l_exe(3, 4, 8) > model.l_exe(3, 4, 1)
+
+    def test_batch8_latency_well_below_8x(self):
+        """Batching amortises weight streaming: 8x the requests must cost far
+        less than 8x the latency (this is what makes large batches raise
+        throughput)."""
+        model = LatencyModel(GPT_20B)
+        assert model.l_exe(3, 4, 8) < 4.0 * model.l_exe(3, 4, 1)
+
+    def test_eq1_decomposition(self):
+        """l_exe ~= prefill + S_out * t_exe(1) (Eq. 2)."""
+        model = LatencyModel(OPT_6_7B)
+        p, m, b = 1, 4, 1
+        approx = model.prefill_time(p, m, b) + DEFAULT_OUTPUT_LENGTH * model.decode_iteration_time(p, m, b)
+        assert model.l_exe(p, m, b) == pytest.approx(approx, rel=0.1)
+
+    def test_oversharding_penalised(self):
+        """Spanning instances with tensor parallelism (M=8 on 4-GPU boxes)
+        must pay more collective latency than M=4 at the same GPU count."""
+        model = LatencyModel(GPT_20B)
+        per_iter_m8 = model.decode_iteration_time(2, 8, 1)
+        per_iter_m4 = model.decode_iteration_time(4, 4, 1)
+        assert per_iter_m8 > per_iter_m4
+
+    def test_more_gpus_reduce_iteration_time(self):
+        model = LatencyModel(GPT_20B)
+        assert model.decode_iteration_time(2, 4, 1) < model.decode_iteration_time(4, 2, 1) * 1.01
+        assert model.decode_iteration_time(1, 4, 1) < model.decode_iteration_time(2, 2, 1) * 1.01
+
+    def test_partial_decode_time_linear(self):
+        model = LatencyModel(GPT_20B)
+        ten = model.partial_decode_time(10, 3, 4, 1)
+        twenty = model.partial_decode_time(20, 3, 4, 1)
+        assert twenty == pytest.approx(2 * ten, rel=0.05)
+
+    def test_partial_decode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyModel(GPT_20B).partial_decode_time(-1, 3, 4, 1)
+
+    def test_invalid_parallelism_rejected(self):
+        model = LatencyModel(GPT_20B)
+        with pytest.raises(ValueError):
+            model.l_exe(0, 4, 1)
+        with pytest.raises(ValueError):
+            model.l_exe(3, 4, 0)
+
+    @given(
+        p=st.sampled_from([1, 2, 3, 4]),
+        m=st.sampled_from([1, 2, 4, 8]),
+        b=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_latencies_are_positive_and_finite(self, p, m, b):
+        model = LatencyModel(GPT_20B)
+        latency = model.l_exe(p, m, b)
+        assert 0 < latency < 10_000
+
+
+class TestThroughput:
+    def test_throughput_scales_linearly_with_data_parallelism(self):
+        model = LatencyModel(GPT_20B)
+        one = model.throughput(1, 2, 8, 8)
+        three = model.throughput(3, 2, 8, 8)
+        assert three == pytest.approx(3 * one)
+
+    def test_single_pipeline_overloads_at_paper_rate(self):
+        """The Figure 6 narrative: one (2, 8) pipeline cannot sustain the
+        0.35 req/s GPT-20B arrival rate, two can."""
+        model = LatencyModel(GPT_20B)
+        assert model.throughput(1, 2, 8, 8) < 0.35
+        assert model.throughput(2, 2, 8, 8) >= 0.35
+
+    def test_llama_pipeline_capacity(self):
+        """One LLaMA-30B pipeline is marginal at 0.2 req/s; two are comfortable."""
+        model = LatencyModel("LLaMA-30B")
+        assert 0.1 < model.throughput(1, 2, 8, 8) < 0.35
+        assert model.throughput(2, 2, 8, 8) >= 1.5 * 0.2
+
+    def test_opt_pipeline_capacity(self):
+        """A handful of OPT-6.7B pipelines cover 1.5 req/s."""
+        model = LatencyModel("OPT-6.7B")
+        per_pipeline = model.throughput(1, 1, 4, 8)
+        assert per_pipeline > 0.3
+        assert 3 * per_pipeline >= 1.5
+
+    def test_invalid_data_degree_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(GPT_20B).throughput(0, 2, 8, 8)
+
+
+class TestCostModelParams:
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            CostModelParams(memory_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CostModelParams(decode_compute_efficiency=1.5)
+
+    def test_invalid_gpus_per_instance_rejected(self):
+        with pytest.raises(ValueError):
+            CostModelParams(gpus_per_instance=0)
+
+
+class TestOfflineProfiler:
+    def test_profile_is_cached(self):
+        profiler = OfflineProfiler(LatencyModel(GPT_20B))
+        first = profiler.profile(2, 3, 4, 8)
+        second = profiler.profile(2, 3, 4, 8)
+        assert first is second
+
+    def test_sweep_only_returns_memory_feasible_entries(self):
+        latency_model = LatencyModel(GPT_20B)
+        profiler = OfflineProfiler(latency_model, MemoryModel(GPT_20B))
+        entries = profiler.sweep(max_gpus=16)
+        assert entries
+        assert all(entry.fits_memory for entry in entries)
+        assert all(entry.num_gpus <= 16 for entry in entries)
+
+    def test_sweep_respects_head_divisibility(self):
+        profiler = OfflineProfiler(LatencyModel(GPT_20B))
+        entries = profiler.sweep(max_gpus=16)
+        assert all(GPT_20B.num_heads % entry.tensor_degree == 0 for entry in entries)
+
+    def test_entry_key_roundtrip(self):
+        profiler = OfflineProfiler(LatencyModel(GPT_20B))
+        entry = profiler.profile(1, 3, 4, 2)
+        assert entry.key == (1, 3, 4, 2)
+        assert entry.num_gpus == 12
+
+    def test_clear_empties_cache(self):
+        profiler = OfflineProfiler(LatencyModel(GPT_20B))
+        profiler.profile(1, 3, 4, 2)
+        profiler.clear()
+        assert profiler.cached_entries() == []
+
+    def test_invalid_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            OfflineProfiler(LatencyModel(GPT_20B)).sweep(max_gpus=0)

@@ -1,0 +1,166 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import SimulationClock
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue, EventType
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_advance_to_moves_forward(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_rejects_backwards(self):
+        clock = SimulationClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_advance_by_rejects_negative(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.advance_by(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(-1.0)
+
+    def test_reset(self):
+        clock = SimulationClock(5.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        queue = EventQueue()
+        queue.schedule(3.0)
+        queue.schedule(1.0)
+        queue.schedule(2.0)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, payload={"idx": 1})
+        second = queue.schedule(1.0, payload={"idx": 2})
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        cancelled = queue.schedule(1.0)
+        kept = queue.schedule(2.0)
+        cancelled.cancel()
+        assert queue.pop() is kept
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(Event(time=-1.0))
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        cancelled = queue.schedule(1.0)
+        queue.schedule(5.0)
+        cancelled.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_len_and_clear(self):
+        queue = EventQueue()
+        queue.schedule(1.0)
+        queue.schedule(2.0)
+        assert len(queue) == 2
+        queue.clear()
+        assert len(queue) == 0
+        assert not queue
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_pop_is_monotone_nondecreasing(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.schedule(time)
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)
+
+
+class TestSimulator:
+    def test_dispatch_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.0, EventType.GENERIC, callback=lambda e: seen.append(e.time))
+        sim.run()
+        assert seen == [2.0]
+        assert sim.now == 2.0
+
+    def test_handlers_receive_events_by_type(self):
+        sim = Simulator()
+        seen = []
+        sim.on(EventType.REQUEST_ARRIVAL, lambda e: seen.append("arrival"))
+        sim.on(EventType.GENERIC, lambda e: seen.append("generic"))
+        sim.schedule_at(1.0, EventType.REQUEST_ARRIVAL)
+        sim.schedule_at(2.0, EventType.GENERIC)
+        sim.run()
+        assert seen == ["arrival", "generic"]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        sim.schedule_at(1.0)
+        sim.schedule_at(10.0)
+        dispatched = sim.run(until=5.0)
+        assert dispatched == 1
+        assert sim.now == 5.0
+        assert len(sim.queue) == 1
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(5.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0)
+
+    def test_schedule_after_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_after(-1.0)
+
+    def test_events_scheduled_during_dispatch_are_processed(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(event):
+            seen.append(event.time)
+            if event.time < 3.0:
+                sim.schedule_after(1.0, EventType.GENERIC, callback=chain)
+
+        sim.schedule_at(1.0, EventType.GENERIC, callback=chain)
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule_at(float(i + 1))
+        assert sim.run(max_events=4) == 4
+
+    def test_step_returns_none_when_empty(self):
+        assert Simulator().step() is None
+
+    def test_dispatched_events_counter(self):
+        sim = Simulator()
+        sim.schedule_at(1.0)
+        sim.schedule_at(2.0)
+        sim.run()
+        assert sim.dispatched_events == 2

@@ -1,0 +1,108 @@
+"""Tests for the network transfer model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.network import GB, NetworkModel, NetworkSpec, Transfer
+
+
+def make_transfer(src_inst, dst_inst, size, src_gpu=0, dst_gpu=0, tag="model"):
+    return Transfer(src=(src_inst, src_gpu), dst=(dst_inst, dst_gpu), size_bytes=size, tag=tag)
+
+
+class TestNetworkSpec:
+    def test_defaults_are_valid(self):
+        spec = NetworkSpec()
+        assert spec.inter_instance_bandwidth > 0
+        assert spec.intra_instance_bandwidth > spec.inter_instance_bandwidth
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(inter_instance_bandwidth=0)
+
+    def test_invalid_streams_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(concurrent_streams=0)
+
+
+class TestTransferTime:
+    def test_noop_transfer_is_free(self):
+        model = NetworkModel()
+        transfer = make_transfer("a", "a", 1 * GB, src_gpu=1, dst_gpu=1)
+        assert model.transfer_time(transfer) == 0.0
+
+    def test_intra_instance_faster_than_inter(self):
+        model = NetworkModel()
+        local = make_transfer("a", "a", 1 * GB, src_gpu=0, dst_gpu=1)
+        remote = make_transfer("a", "b", 1 * GB)
+        assert model.transfer_time(local) < model.transfer_time(remote)
+
+    def test_time_scales_with_size(self):
+        model = NetworkModel()
+        small = model.transfer_time(make_transfer("a", "b", 1 * GB))
+        large = model.transfer_time(make_transfer("a", "b", 4 * GB))
+        assert large > small
+
+    def test_zero_size_is_free(self):
+        model = NetworkModel()
+        assert model.transfer_time(make_transfer("a", "b", 0.0)) == 0.0
+
+
+class TestBatchTime:
+    def test_distinct_pairs_run_in_parallel(self):
+        model = NetworkModel()
+        single = model.batch_time([make_transfer("a", "b", 2 * GB)])
+        parallel = model.batch_time(
+            [make_transfer("a", "b", 2 * GB), make_transfer("c", "d", 2 * GB)]
+        )
+        assert parallel == pytest.approx(single)
+
+    def test_same_pair_serialises(self):
+        model = NetworkModel()
+        single = model.batch_time([make_transfer("a", "b", 2 * GB)])
+        double = model.batch_time(
+            [make_transfer("a", "b", 2 * GB), make_transfer("a", "b", 2 * GB, src_gpu=1)]
+        )
+        assert double == pytest.approx(2 * single)
+
+    def test_stream_limit_serialises_excess_pairs(self):
+        spec = NetworkSpec(concurrent_streams=2)
+        model = NetworkModel(spec)
+        transfers = [make_transfer(f"s{i}", f"d{i}", 2 * GB) for i in range(4)]
+        limited = model.batch_time(transfers)
+        single = model.transfer_time(transfers[0])
+        assert limited == pytest.approx(2 * single)
+
+    def test_empty_batch_is_free(self):
+        assert NetworkModel().batch_time([]) == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.sampled_from(["a", "b", "c"]),
+                st.floats(min_value=0, max_value=10 * GB),
+            ),
+            max_size=20,
+        )
+    )
+    def test_batch_time_bounded_by_serial_sum(self, raw):
+        model = NetworkModel()
+        transfers = [make_transfer(s, d, size) for s, d, size in raw]
+        batch = model.batch_time(transfers)
+        serial = sum(model.transfer_time(t) for t in transfers)
+        longest = max((model.transfer_time(t) for t in transfers), default=0.0)
+        assert batch <= serial + 1e-9
+        assert batch >= longest - 1e-9
+
+
+class TestByteAccounting:
+    def test_total_and_remote_bytes(self):
+        model = NetworkModel()
+        transfers = [
+            make_transfer("a", "a", 1 * GB, dst_gpu=1),  # local
+            make_transfer("a", "b", 2 * GB),  # remote
+            make_transfer("a", "a", 5 * GB),  # no-op (same device)
+        ]
+        assert model.total_bytes(transfers) == pytest.approx(3 * GB)
+        assert model.remote_bytes(transfers) == pytest.approx(2 * GB)

@@ -1,0 +1,168 @@
+"""Tests for requests, arrival processes and the MAF-like workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.arrival import (
+    DEFAULT_ARRIVAL_RATES,
+    FixedArrivals,
+    GammaArrivals,
+    PoissonArrivals,
+    TimeVaryingArrivals,
+    default_rate_for,
+)
+from repro.workload.maf import synthesize_maf_profile
+from repro.workload.request import Request, RequestState
+
+
+class TestRequest:
+    def test_commit_and_remaining(self):
+        request = Request(arrival_time=0.0, output_tokens=10)
+        request.commit_tokens(4)
+        assert request.committed_tokens == 4
+        assert request.remaining_tokens == 6
+        request.commit_tokens(100)
+        assert request.committed_tokens == 10
+        assert request.is_complete
+
+    def test_drop_cache_resets_progress(self):
+        request = Request(arrival_time=0.0, output_tokens=10)
+        request.commit_tokens(7)
+        request.drop_cache()
+        assert request.committed_tokens == 0
+        assert request.recomputed_tokens == 7
+        assert not request.cache_preserved
+
+    def test_latency_and_scheduling_delay(self):
+        request = Request(arrival_time=5.0)
+        assert request.latency() is None
+        request.mark_started(8.0)
+        request.mark_completed(20.0)
+        assert request.scheduling_delay() == pytest.approx(3.0)
+        assert request.latency() == pytest.approx(15.0)
+        assert request.state is RequestState.COMPLETED
+
+    def test_interruption_counter(self):
+        request = Request(arrival_time=0.0)
+        request.mark_interrupted()
+        request.mark_interrupted()
+        assert request.interruptions == 2
+        assert request.state is RequestState.INTERRUPTED
+
+    def test_invalid_requests_rejected(self):
+        with pytest.raises(ValueError):
+            Request(arrival_time=-1.0)
+        with pytest.raises(ValueError):
+            Request(arrival_time=0.0, input_tokens=0)
+        with pytest.raises(ValueError):
+            Request(arrival_time=0.0).commit_tokens(-1)
+
+    def test_unique_ids(self):
+        assert Request(arrival_time=0.0).request_id != Request(arrival_time=0.0).request_id
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_is_respected(self):
+        times = PoissonArrivals(rate=2.0, seed=1).arrival_times(5000.0)
+        assert len(times) == pytest.approx(10000, rel=0.05)
+        assert all(0 <= t < 5000.0 for t in times)
+        assert times == sorted(times)
+
+    def test_gamma_rate_is_respected_on_long_horizon(self):
+        times = GammaArrivals(rate=1.0, cv=6.0, seed=3).arrival_times(50_000.0)
+        assert len(times) == pytest.approx(50_000, rel=0.1)
+
+    def test_gamma_cv_controls_burstiness(self):
+        smooth = np.diff(GammaArrivals(rate=1.0, cv=1.0, seed=0).arrival_times(20_000.0))
+        bursty = np.diff(GammaArrivals(rate=1.0, cv=6.0, seed=0).arrival_times(20_000.0))
+        cv_smooth = smooth.std() / smooth.mean()
+        cv_bursty = bursty.std() / bursty.mean()
+        assert cv_bursty > 2 * cv_smooth
+        assert cv_bursty == pytest.approx(6.0, rel=0.25)
+
+    def test_deterministic_per_seed(self):
+        a = GammaArrivals(rate=0.35, cv=6.0, seed=11).arrival_times(1200.0)
+        b = GammaArrivals(rate=0.35, cv=6.0, seed=11).arrival_times(1200.0)
+        assert a == b
+
+    def test_generate_builds_requests(self):
+        requests = GammaArrivals(rate=0.5, seed=2, input_tokens=256, output_tokens=32).generate(600.0)
+        assert all(isinstance(r, Request) for r in requests)
+        assert all(r.input_tokens == 256 and r.output_tokens == 32 for r in requests)
+
+    def test_fixed_arrivals(self):
+        process = FixedArrivals([5.0, 1.0, 9.0])
+        assert process.arrival_times(8.0) == [1.0, 5.0]
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0)
+        with pytest.raises(ValueError):
+            GammaArrivals(rate=1.0, cv=0.0)
+        with pytest.raises(ValueError):
+            FixedArrivals([-1.0])
+
+    def test_default_rates_match_paper(self):
+        assert default_rate_for("OPT-6.7B") == pytest.approx(1.5)
+        assert default_rate_for("GPT-20B") == pytest.approx(0.35)
+        assert default_rate_for("LLaMA-30B") == pytest.approx(0.2)
+        with pytest.raises(KeyError):
+            default_rate_for("GPT-3")
+        assert set(DEFAULT_ARRIVAL_RATES) == {"OPT-6.7B", "GPT-20B", "LLaMA-30B"}
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_arrivals_sorted_and_in_range(self, seed):
+        times = GammaArrivals(rate=0.35, cv=6.0, seed=seed).arrival_times(1200.0)
+        assert times == sorted(times)
+        assert all(0 <= t < 1200.0 for t in times)
+
+
+class TestTimeVaryingArrivals:
+    def test_rate_profile_lookup(self):
+        process = TimeVaryingArrivals([(0.0, 0.5), (100.0, 2.0)], cv=1.0, seed=0)
+        assert process.rate_at(50.0) == pytest.approx(0.5)
+        assert process.rate_at(150.0) == pytest.approx(2.0)
+
+    def test_rate_change_shows_up_in_counts(self):
+        process = TimeVaryingArrivals([(0.0, 0.2), (2000.0, 2.0)], cv=1.0, seed=1)
+        times = process.arrival_times(4000.0)
+        early = sum(1 for t in times if t < 2000.0)
+        late = sum(1 for t in times if t >= 2000.0)
+        assert late > 3 * early
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            TimeVaryingArrivals([])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TimeVaryingArrivals([(0.0, -1.0)])
+
+
+class TestMAFProfile:
+    def test_profile_shape(self):
+        profile = synthesize_maf_profile()
+        rates = profile.rates()
+        assert profile.peak_rate() == pytest.approx(max(rates))
+        assert profile.peak_rate() > rates[0]
+        assert min(rates) > 0
+
+    def test_rescaling_sets_mean_rate(self):
+        profile = synthesize_maf_profile()
+        rescaled = profile.rescaled(0.5)
+        assert rescaled.mean_rate() == pytest.approx(0.5, rel=1e-6)
+        with pytest.raises(ValueError):
+            profile.rescaled(0.0)
+
+    def test_profile_to_arrival_process(self):
+        profile = synthesize_maf_profile(duration=600.0)
+        process = profile.to_arrival_process(cv=2.0, seed=0)
+        times = process.arrival_times(600.0)
+        assert times
+        assert all(0 <= t < 600.0 for t in times)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_maf_profile(ramp_start_fraction=0.6, peak_fraction=0.5)
