@@ -20,6 +20,9 @@ from repro.engine.placement import mesh_positions
 from repro.llm.memory import DEFAULT_MIGRATION_BUFFER_BYTES
 from repro.llm.spec import GPT_20B
 
+#: Figure-reproduction benchmarks are slow; deselected from tier-1 runs.
+pytestmark = pytest.mark.slow
+
 GB = 1024 ** 3
 
 

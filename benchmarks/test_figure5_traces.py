@@ -15,6 +15,11 @@ from repro.experiments.scenarios import stable_workload_scenario
 from repro.llm.spec import get_model
 from repro.sim.engine import Simulator
 
+import pytest
+
+#: Figure-reproduction benchmarks are slow; deselected from tier-1 runs.
+pytestmark = pytest.mark.slow
+
 
 def sample_counts(trace, step=60.0):
     """Spot instance counts sampled every *step* seconds."""

@@ -20,6 +20,9 @@ from repro.experiments.scenarios import (
     stable_workload_scenario,
 )
 
+#: Figure-reproduction benchmarks are slow; deselected from tier-1 runs.
+pytestmark = pytest.mark.slow
+
 
 def run_cell(model_name, trace_name, allow_on_demand):
     scenario = stable_workload_scenario(model_name, trace_name, allow_on_demand=allow_on_demand)

@@ -16,6 +16,9 @@ from repro.core.server import SpotServeSystem
 from repro.experiments.runner import run_comparison, run_serving_experiment
 from repro.experiments.scenarios import COMPARED_SYSTEMS, stable_workload_scenario
 
+#: Figure-reproduction benchmarks are slow; deselected from tier-1 runs.
+pytestmark = pytest.mark.slow
+
 MODEL = "GPT-20B"
 
 

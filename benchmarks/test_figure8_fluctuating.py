@@ -14,6 +14,9 @@ from repro.experiments.metrics import REPORTED_PERCENTILES
 from repro.experiments.runner import run_comparison
 from repro.experiments.scenarios import COMPARED_SYSTEMS, fluctuating_workload_scenario
 
+#: Figure-reproduction benchmarks are slow; deselected from tier-1 runs.
+pytestmark = pytest.mark.slow
+
 
 def run_fluctuating(trace_name):
     scenario, process = fluctuating_workload_scenario("GPT-20B", trace_name)

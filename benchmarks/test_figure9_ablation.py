@@ -15,6 +15,9 @@ from repro.experiments.runner import run_serving_experiment
 from repro.experiments.scenarios import stable_workload_scenario
 from repro.workload.request import Request
 
+#: Figure-reproduction benchmarks are slow; deselected from tier-1 runs.
+pytestmark = pytest.mark.slow
+
 MODEL = "GPT-20B"
 
 

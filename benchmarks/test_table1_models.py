@@ -13,6 +13,9 @@ from repro.llm.hardware import T4
 from repro.llm.memory import MemoryModel
 from repro.llm.spec import get_model
 
+#: Figure-reproduction benchmarks are slow; deselected from tier-1 runs.
+pytestmark = pytest.mark.slow
+
 GB = 1024 ** 3
 
 #: Paper values: size (GB), min #GPUs, (P, M), l_exe(B=1) seconds.

@@ -1,6 +1,7 @@
-"""Preemptible-cloud simulator: instances, pricing, traces, provider."""
+"""Preemptible-cloud simulator: instances, pricing, traces, zones, provider."""
 
 from .instance import (
+    DEFAULT_ZONE,
     G4DN_12XLARGE,
     Instance,
     InstanceState,
@@ -8,8 +9,9 @@ from .instance import (
     Market,
 )
 from .manager import InstanceManager
-from .pricing import BillingRecord, CostTracker
+from .pricing import BillingRecord, CostTracker, PriceSchedule
 from .provider import CloudProvider
+from .zone import ZoneSpec, single_zone, validate_zones
 from .trace import (
     BUILTIN_TRACES,
     AvailabilityTrace,
@@ -29,18 +31,23 @@ __all__ = [
     "BillingRecord",
     "CloudProvider",
     "CostTracker",
+    "DEFAULT_ZONE",
     "G4DN_12XLARGE",
     "Instance",
     "InstanceManager",
     "InstanceState",
     "InstanceType",
     "Market",
+    "PriceSchedule",
     "TraceEvent",
     "TraceEventKind",
+    "ZoneSpec",
     "generate_random_trace",
     "get_trace",
+    "single_zone",
     "trace_a_prime",
     "trace_as",
     "trace_b_prime",
     "trace_bs",
+    "validate_zones",
 ]

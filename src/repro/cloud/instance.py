@@ -88,9 +88,18 @@ def _next_instance_id(prefix: str) -> str:
     return f"{prefix}-{next(_instance_ids):04d}"
 
 
+#: Zone name used by single-zone deployments (the seed behaviour).
+DEFAULT_ZONE = "default"
+
+
 @dataclass
 class Instance:
-    """A single allocated cloud instance."""
+    """A single allocated cloud instance.
+
+    ``zone`` names the availability zone the instance was launched in; the
+    network model charges cross-zone migration traffic at a lower bandwidth
+    and the cost tracker bills at the zone's (possibly time-varying) price.
+    """
 
     instance_type: InstanceType
     market: Market
@@ -100,10 +109,13 @@ class Instance:
     ready_time: Optional[float] = None
     preemption_notice_time: Optional[float] = None
     termination_time: Optional[float] = None
+    zone: str = DEFAULT_ZONE
 
     def __post_init__(self) -> None:
         if not self.instance_id:
             prefix = "spot" if self.market is Market.SPOT else "ondemand"
+            if self.zone != DEFAULT_ZONE:
+                prefix = f"{self.zone}-{prefix}"
             self.instance_id = _next_instance_id(prefix)
 
     # ------------------------------------------------------------------
@@ -172,5 +184,5 @@ class Instance:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"Instance({self.instance_id}, {self.market.value}, "
-            f"{self.state.value}, gpus={self.num_gpus})"
+            f"{self.state.value}, zone={self.zone}, gpus={self.num_gpus})"
         )

@@ -10,7 +10,7 @@ pool of spare instances the paper keeps for smoother substitutions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..sim.events import Event, EventType
 from .instance import Instance, InstanceState, Market
@@ -104,42 +104,65 @@ class InstanceManager:
             if inst.market is Market.ON_DEMAND
         )
 
+    def zone_counts(self) -> Dict[str, int]:
+        """Stable instances per availability zone (zones with none included)."""
+        counts: Dict[str, int] = {name: 0 for name in self.provider.zone_names}
+        for inst in self.stable_instances():
+            counts[inst.zone] = counts.get(inst.zone, 0) + 1
+        return counts
+
     # ------------------------------------------------------------------
     # Algorithm 1 allocation policy
     # ------------------------------------------------------------------
-    def alloc(self, count: int) -> List[Instance]:
+    def alloc(self, count: int, zone: Optional[str] = None) -> List[Instance]:
         """Request *count* extra instances (Algorithm 1, line 8).
 
         Spot and on-demand allocations are issued at the same time so that a
         failed spot allocation does not delay capacity recovery; on-demand is
-        only used when mixing is enabled.  Returns the instances that were
-        actually granted (they become usable later, announced by
-        ``ACQUISITION_READY`` events).
+        only used when mixing is enabled.  ``zone`` pins the request to one
+        availability zone (the autoscaler's per-zone decisions use this).
+        Returns the instances that were actually granted (they become usable
+        later, announced by ``ACQUISITION_READY`` events).
         """
         if count <= 0:
             return []
-        granted: List[Instance] = list(self.provider.request_spot(count))
+        granted: List[Instance] = list(self.provider.request_spot(count, zone=zone))
         if self.allow_on_demand:
             remaining = count - len(granted)
             if remaining > 0:
-                granted.extend(self.provider.request_on_demand(remaining))
+                granted.extend(self.provider.request_on_demand(remaining, zone=zone))
         return granted
 
-    def free(self, count: int) -> List[Instance]:
+    def free(
+        self,
+        count: int,
+        zone: Optional[str] = None,
+        keep_pool: bool = True,
+        avoid: Optional[Sequence[str]] = None,
+    ) -> List[Instance]:
         """Release *count* held instances (Algorithm 1, line 10).
 
         On-demand instances are released first because they cost more; within
-        a market the most recently acquired instances go first.  The candidate
-        pool is preserved: the manager keeps up to ``candidate_pool_size``
-        extra instances as spares.
+        a market the most recently acquired instances go first.  With
+        ``keep_pool=True`` the candidate pool is preserved: the manager keeps
+        up to ``candidate_pool_size`` extra instances as spares.  ``zone``
+        restricts releases to one availability zone and ``avoid`` protects
+        instances (e.g. those hosting live pipelines) from release.
         """
         if count <= 0:
             return []
-        count = max(count - self.candidate_pool_size, 0)
+        if keep_pool:
+            count = max(count - self.candidate_pool_size, 0)
         if count == 0:
             return []
+        protected = set(avoid or ())
         candidates = sorted(
-            self.held_instances(),
+            (
+                inst
+                for inst in self.held_instances()
+                if (zone is None or inst.zone == zone)
+                and inst.instance_id not in protected
+            ),
             key=lambda inst: (
                 0 if inst.market is Market.ON_DEMAND else 1,
                 -inst.launch_time,

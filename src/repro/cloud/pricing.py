@@ -1,17 +1,75 @@
-"""Monetary cost accounting.
+"""Monetary cost accounting and price schedules.
 
 Figure 7 of the paper compares per-token cost and latency of SpotServe and
 the baselines against an on-demand-only deployment.  :class:`CostTracker`
 accumulates instance-hours per market as instances come and go and converts
 them into total and per-token USD figures.
+
+Spot markets do not have one fixed price: every availability zone publishes
+its own price that drifts over time (price spikes are exactly what a
+cost-aware autoscaler arbitrages away from).  :class:`PriceSchedule` models a
+piecewise-constant hourly price; billing records carry the schedule of the
+zone the instance was launched in, so zone-level price spikes show up in the
+accrued cost without any extra bookkeeping in the provider.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .instance import Instance, InstanceType, Market
+from .instance import DEFAULT_ZONE, Instance, InstanceType, Market
+
+
+@dataclass(frozen=True)
+class PriceSchedule:
+    """A piecewise-constant hourly price over simulated time.
+
+    ``base_price`` applies from time zero; each ``(time, price)`` change point
+    switches the hourly price from that timestamp onwards.
+    """
+
+    base_price: float
+    changes: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.base_price < 0:
+            raise ValueError("prices must be non-negative")
+        ordered = tuple(sorted((float(t), float(p)) for t, p in self.changes))
+        if any(t < 0 or p < 0 for t, p in ordered):
+            raise ValueError("price change points must have non-negative time and price")
+        object.__setattr__(self, "changes", ordered)
+
+    @classmethod
+    def flat(cls, price: float) -> "PriceSchedule":
+        """A schedule whose price never changes."""
+        return cls(base_price=price)
+
+    def price_at(self, time: float) -> float:
+        """Hourly price in effect at *time*."""
+        price = self.base_price
+        for change_time, change_price in self.changes:
+            if change_time > time:
+                break
+            price = change_price
+        return price
+
+    def cost_between(self, start: float, end: float) -> float:
+        """USD accrued over ``[start, end]`` at the scheduled hourly prices."""
+        if end <= start:
+            return 0.0
+        boundaries = [start]
+        boundaries.extend(t for t, _ in self.changes if start < t < end)
+        boundaries.append(end)
+        total = 0.0
+        for left, right in zip(boundaries, boundaries[1:]):
+            total += (right - left) / 3600.0 * self.price_at(left)
+        return total
+
+    @property
+    def is_flat(self) -> bool:
+        """True when the price never changes."""
+        return not self.changes
 
 
 @dataclass
@@ -23,10 +81,14 @@ class BillingRecord:
     start: float
     end: Optional[float] = None
     price_per_hour: float = 0.0
+    zone: str = DEFAULT_ZONE
+    schedule: Optional[PriceSchedule] = None
 
     def cost(self, now: float) -> float:
         """Cost in USD accrued up to *now* (or to the interval end)."""
         end = self.end if self.end is not None else now
+        if self.schedule is not None and not self.schedule.is_flat:
+            return self.schedule.cost_between(self.start, max(end, self.start))
         hours = max(end - self.start, 0.0) / 3600.0
         return hours * self.price_per_hour
 
@@ -41,15 +103,32 @@ class CostTracker:
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def start_billing(self, instance: Instance, time: float) -> None:
-        """Begin billing *instance* at *time* (normally its launch time)."""
+    def start_billing(
+        self,
+        instance: Instance,
+        time: float,
+        schedule: Optional[PriceSchedule] = None,
+        zone: Optional[str] = None,
+    ) -> None:
+        """Begin billing *instance* at *time* (normally its launch time).
+
+        When *schedule* is given the record accrues at the (possibly
+        time-varying) scheduled price; otherwise the instance type's flat
+        market price applies.
+        """
         if instance.instance_id in self._records:
             raise ValueError(f"instance {instance.instance_id} already billed")
+        if schedule is not None:
+            price = schedule.price_at(time)
+        else:
+            price = instance.instance_type.price_per_hour(instance.market)
         self._records[instance.instance_id] = BillingRecord(
             instance_id=instance.instance_id,
             market=instance.market,
             start=time,
-            price_per_hour=instance.instance_type.price_per_hour(instance.market),
+            price_per_hour=price,
+            zone=zone if zone is not None else instance.zone,
+            schedule=schedule,
         )
 
     def stop_billing(self, instance: Instance, time: float) -> None:
@@ -63,16 +142,32 @@ class CostTracker:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def total_cost(self, now: float, market: Optional[Market] = None) -> float:
-        """Total USD spent up to *now*, optionally restricted to one market."""
+    def total_cost(
+        self,
+        now: float,
+        market: Optional[Market] = None,
+        zone: Optional[str] = None,
+    ) -> float:
+        """Total USD spent up to *now*, optionally filtered by market and zone."""
         total = 0.0
         for record in self._closed:
-            if market is None or record.market is market:
+            if (market is None or record.market is market) and (
+                zone is None or record.zone == zone
+            ):
                 total += record.cost(now)
         for record in self._records.values():
-            if market is None or record.market is market:
+            if (market is None or record.market is market) and (
+                zone is None or record.zone == zone
+            ):
                 total += record.cost(now)
         return total
+
+    def cost_by_zone(self, now: float) -> Dict[str, float]:
+        """USD spent per availability zone up to *now*."""
+        totals: Dict[str, float] = {}
+        for record in list(self._closed) + list(self._records.values()):
+            totals[record.zone] = totals.get(record.zone, 0.0) + record.cost(now)
+        return totals
 
     def cost_per_token(self, now: float, tokens_generated: int) -> float:
         """USD per generated token (``inf`` when nothing was generated)."""

@@ -1,8 +1,8 @@
 """Simulated preemptible cloud provider.
 
-:class:`CloudProvider` replays an :class:`~repro.cloud.trace.AvailabilityTrace`
-on top of the discrete-event simulator and exposes exactly the interface the
-paper's instance manager consumes:
+:class:`CloudProvider` replays :class:`~repro.cloud.trace.AvailabilityTrace`
+events on top of the discrete-event simulator and exposes exactly the
+interface the paper's instance manager consumes:
 
 * it grants the initial spot fleet at time zero,
 * trace ``ACQUIRE`` events deliver additional spot instances,
@@ -11,76 +11,138 @@ paper's instance manager consumes:
   and reclaim the instance after the grace period
   (:class:`~repro.sim.events.EventType.PREEMPTION_FINAL`),
 * the serving system can additionally request **on-demand** instances, which
-  always succeed and become ready after the instance type's startup delay,
+  always succeed (up to the zone's capacity) and become ready after the
+  instance type's startup delay,
 * released or preempted instances stop accruing cost in the
   :class:`~repro.cloud.pricing.CostTracker`.
+
+The provider manages one or more **availability zones**
+(:class:`~repro.cloud.zone.ZoneSpec`): each zone replays its own trace with
+its own deterministic victim RNG, enforces its own capacity limit and bills
+at its own (possibly time-varying) price schedule.  The legacy single-trace
+constructor wraps the trace into one ``"default"`` zone and behaves exactly
+like the seed implementation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import hashlib
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..sim.engine import Simulator
 from ..sim.events import Event, EventType
-from .instance import G4DN_12XLARGE, Instance, InstanceState, InstanceType, Market
-from .pricing import CostTracker
+from .instance import DEFAULT_ZONE, G4DN_12XLARGE, Instance, InstanceState, InstanceType, Market
+from .pricing import CostTracker, PriceSchedule
 from .trace import AvailabilityTrace, TraceEventKind
+from .zone import ZoneSpec, single_zone, validate_zones
+
+
+def _zone_victim_seed(base_seed: int, zone_name: str) -> int:
+    """Stable per-zone victim seed (SHA-256 keyed, like repro.sim.rng)."""
+    digest = hashlib.sha256(f"{base_seed}:{zone_name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
 
 
 class CloudProvider:
-    """Replays a spot availability trace and serves allocation requests."""
+    """Replays per-zone spot availability traces and serves allocation requests."""
 
     def __init__(
         self,
         simulator: Simulator,
-        trace: AvailabilityTrace,
+        trace: Optional[AvailabilityTrace] = None,
         instance_type: InstanceType = G4DN_12XLARGE,
         cost_tracker: Optional[CostTracker] = None,
         allow_spot_requests: bool = False,
         trace_market: Market = Market.SPOT,
         victim_seed: int = 0,
+        zones: Optional[Sequence[ZoneSpec]] = None,
     ) -> None:
+        if zones is None:
+            if trace is None:
+                raise ValueError("either a trace or explicit zones must be provided")
+            zones = single_zone(trace)
+        elif trace is not None:
+            raise ValueError("pass either a bare trace or explicit zones, not both")
         self.simulator = simulator
-        self.trace = trace
+        self.zones: Dict[str, ZoneSpec] = {z.name: z for z in validate_zones(zones)}
         self.instance_type = instance_type
         self.cost_tracker = cost_tracker or CostTracker()
         self.allow_spot_requests = allow_spot_requests
         self.trace_market = trace_market
-        self._victim_rng = np.random.default_rng(victim_seed)
+        # Single-zone replays keep the seed's RNG stream byte-for-byte; with
+        # several zones each gets an independent derived stream so adding a
+        # zone never perturbs another zone's victim picks.
+        if len(self.zones) == 1:
+            seeds = {name: victim_seed for name in self.zones}
+        else:
+            seeds = {name: _zone_victim_seed(victim_seed, name) for name in self.zones}
+        self._victim_rngs = {
+            name: np.random.default_rng(seed) for name, seed in seeds.items()
+        }
         self._instances: Dict[str, Instance] = {}
         self._preempted_count = 0
-        self._schedule_trace()
+        for zone in self.zones.values():
+            self._schedule_trace(zone)
+
+    # ------------------------------------------------------------------
+    # Backward-compatible single-zone accessors
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> AvailabilityTrace:
+        """The first zone's trace (legacy single-zone accessor)."""
+        return next(iter(self.zones.values())).trace
+
+    @property
+    def zone_names(self) -> List[str]:
+        """Names of every managed zone, in declaration order."""
+        return list(self.zones)
+
+    def zone_of(self, instance_id: str) -> str:
+        """Availability zone of *instance_id* (``"default"`` when unknown)."""
+        instance = self._instances.get(instance_id)
+        return instance.zone if instance is not None else DEFAULT_ZONE
 
     # ------------------------------------------------------------------
     # Trace replay
     # ------------------------------------------------------------------
-    def _schedule_trace(self) -> None:
-        for _ in range(self.trace.initial_instances):
-            self._grant_spot_instance(0.0, ready_immediately=True, announce=False)
-        for event in self.trace.events:
+    def _schedule_trace(self, zone: ZoneSpec) -> None:
+        for _ in range(zone.trace.initial_instances):
+            self._grant_spot_instance(0.0, zone, ready_immediately=True, announce=False)
+        for event in zone.trace.events:
             if event.kind is TraceEventKind.ACQUIRE:
                 self.simulator.schedule_at(
                     event.time,
                     EventType.GENERIC,
-                    payload={"provider_action": "trace_acquire", "count": event.count},
+                    payload={
+                        "provider_action": "trace_acquire",
+                        "count": event.count,
+                        "zone": zone.name,
+                    },
                     callback=self._on_trace_acquire,
                 )
             else:
                 self.simulator.schedule_at(
                     event.time,
                     EventType.GENERIC,
-                    payload={"provider_action": "trace_preempt", "count": event.count},
+                    payload={
+                        "provider_action": "trace_preempt",
+                        "count": event.count,
+                        "zone": zone.name,
+                    },
                     callback=self._on_trace_preempt,
                 )
 
     def _on_trace_acquire(self, event: Event) -> None:
-        for _ in range(event.payload["count"]):
-            self._grant_spot_instance(event.time, ready_immediately=True)
+        zone = self.zones[event.payload["zone"]]
+        count = min(event.payload["count"], self.capacity_remaining(zone.name))
+        for _ in range(count):
+            self._grant_spot_instance(event.time, zone, ready_immediately=True)
 
     def _on_trace_preempt(self, event: Event) -> None:
-        victims = self._select_preemption_victims(event.payload["count"])
+        zone_name = event.payload["zone"]
+        victims = self._select_preemption_victims(event.payload["count"], zone_name)
         for victim in victims:
             self._issue_preemption_notice(victim, event.time)
 
@@ -88,15 +150,25 @@ class CloudProvider:
     # Spot lifecycle
     # ------------------------------------------------------------------
     def _grant_spot_instance(
-        self, time: float, ready_immediately: bool, announce: bool = True
+        self,
+        time: float,
+        zone: ZoneSpec,
+        ready_immediately: bool,
+        announce: bool = True,
     ) -> Instance:
         instance = Instance(
             instance_type=self.instance_type,
             market=self.trace_market,
             launch_time=time,
+            zone=zone.name,
         )
         self._instances[instance.instance_id] = instance
-        self.cost_tracker.start_billing(instance, time)
+        schedule = (
+            zone.spot_schedule(self.instance_type)
+            if self.trace_market is Market.SPOT
+            else zone.on_demand_schedule(self.instance_type)
+        )
+        self.cost_tracker.start_billing(instance, time, schedule=schedule, zone=zone.name)
         if ready_immediately:
             instance.mark_ready(time)
             if announce:
@@ -115,24 +187,27 @@ class CloudProvider:
             )
         return instance
 
-    def _select_preemption_victims(self, count: int) -> List[Instance]:
-        """Pick spot instances to reclaim, uniformly at random.
+    def _select_preemption_victims(self, count: int, zone_name: str) -> List[Instance]:
+        """Pick spot instances of *zone_name* to reclaim, uniformly at random.
 
         The cloud has no knowledge of (and no sympathy for) the tenant's
-        pipeline placement, so victims land anywhere in the fleet -- this is
-        what causes the "chain crashing" effect described in Section 2.2.
-        The RNG is seeded, so replays stay deterministic.
+        pipeline placement, so victims land anywhere in the zone's fleet --
+        this is what causes the "chain crashing" effect described in Section
+        2.2.  Each zone's RNG is seeded, so replays stay deterministic.
         """
         candidates = [
             instance
             for instance in self._instances.values()
-            if instance.market is Market.SPOT and instance.is_alive
+            if instance.market is Market.SPOT
+            and instance.is_alive
+            and instance.zone == zone_name
         ]
         candidates.sort(key=lambda inst: inst.instance_id)
         if not candidates:
             return []
         count = min(count, len(candidates))
-        chosen = self._victim_rng.choice(len(candidates), size=count, replace=False)
+        rng = self._victim_rngs[zone_name]
+        chosen = rng.choice(len(candidates), size=count, replace=False)
         return [candidates[index] for index in sorted(chosen)]
 
     def _issue_preemption_notice(self, instance: Instance, time: float) -> None:
@@ -158,48 +233,77 @@ class CloudProvider:
         self._preempted_count += 1
 
     # ------------------------------------------------------------------
-    # Allocation API (used by the instance manager)
+    # Allocation API (used by the instance manager / autoscaler)
     # ------------------------------------------------------------------
-    def request_on_demand(self, count: int) -> List[Instance]:
-        """Allocate *count* on-demand instances; always succeeds.
+    def _allocation_zones(self, zone: Optional[str]) -> List[ZoneSpec]:
+        """Zones to satisfy an allocation, in preference order."""
+        if zone is not None:
+            if zone not in self.zones:
+                raise KeyError(f"unknown zone {zone!r}; available: {self.zone_names}")
+            return [self.zones[zone]]
+        return list(self.zones.values())
 
-        The instances become usable after the instance type's startup delay
-        and are announced with an ``ACQUISITION_READY`` event.
+    def request_on_demand(self, count: int, zone: Optional[str] = None) -> List[Instance]:
+        """Allocate *count* on-demand instances.
+
+        Always succeeds up to the targeted zones' capacity.  The instances
+        become usable after the instance type's startup delay and are
+        announced with an ``ACQUISITION_READY`` event.  With ``zone=None``
+        the request spreads over zones in declaration order.
         """
         if count <= 0:
             return []
         now = self.simulator.now
         granted: List[Instance] = []
-        for _ in range(count):
-            instance = Instance(
-                instance_type=self.instance_type,
-                market=Market.ON_DEMAND,
-                launch_time=now,
-            )
-            self._instances[instance.instance_id] = instance
-            self.cost_tracker.start_billing(instance, now)
-            ready_at = now + self.instance_type.startup_delay
-            self.simulator.schedule_at(
-                ready_at,
-                EventType.ACQUISITION_READY,
-                payload={"instance": instance},
-                callback=lambda event, inst=instance: inst.mark_ready(event.time),
-            )
-            granted.append(instance)
+        for zone_spec in self._allocation_zones(zone):
+            room = self.capacity_remaining(zone_spec.name)
+            for _ in range(min(count - len(granted), room)):
+                instance = Instance(
+                    instance_type=self.instance_type,
+                    market=Market.ON_DEMAND,
+                    launch_time=now,
+                    zone=zone_spec.name,
+                )
+                self._instances[instance.instance_id] = instance
+                self.cost_tracker.start_billing(
+                    instance,
+                    now,
+                    schedule=zone_spec.on_demand_schedule(self.instance_type),
+                    zone=zone_spec.name,
+                )
+                ready_at = now + self.instance_type.startup_delay
+                self.simulator.schedule_at(
+                    ready_at,
+                    EventType.ACQUISITION_READY,
+                    payload={"instance": instance},
+                    callback=lambda event, inst=instance: inst.mark_ready(event.time),
+                )
+                granted.append(instance)
+            if len(granted) >= count:
+                break
         return granted
 
-    def request_spot(self, count: int) -> List[Instance]:
+    def request_spot(self, count: int, zone: Optional[str] = None) -> List[Instance]:
         """Try to allocate extra spot instances beyond the trace.
 
         The published traces already encode every spot instance the cloud was
         willing to grant, so by default extra requests fail (return an empty
         list); set ``allow_spot_requests=True`` to model a more generous
-        market in what-if studies.
+        multi-zone market.  Grants are clipped to each zone's capacity.
         """
         if count <= 0 or not self.allow_spot_requests:
             return []
         now = self.simulator.now
-        return [self._grant_spot_instance(now, ready_immediately=False) for _ in range(count)]
+        granted: List[Instance] = []
+        for zone_spec in self._allocation_zones(zone):
+            room = self.capacity_remaining(zone_spec.name)
+            for _ in range(min(count - len(granted), room)):
+                granted.append(
+                    self._grant_spot_instance(now, zone_spec, ready_immediately=False)
+                )
+            if len(granted) >= count:
+                break
+        return granted
 
     def release(self, instance: Instance) -> None:
         """Voluntarily return *instance* to the cloud (stops billing)."""
@@ -223,6 +327,35 @@ class CloudProvider:
     def alive_instances(self) -> List[Instance]:
         """Instances that are launching or usable."""
         return [inst for inst in self._instances.values() if inst.is_alive]
+
+    def instances_in_zone(self, zone: str) -> List[Instance]:
+        """Every instance ever granted in *zone*."""
+        return [inst for inst in self._instances.values() if inst.zone == zone]
+
+    def alive_in_zone(self, zone: str) -> int:
+        """Alive (launching or usable) instances currently in *zone*."""
+        return sum(
+            1
+            for inst in self._instances.values()
+            if inst.zone == zone and inst.is_alive
+        )
+
+    def capacity_remaining(self, zone: str) -> int:
+        """Instances the zone can still host (a large number when unlimited)."""
+        spec = self.zones[zone]
+        if spec.capacity is None:
+            return 1_000_000
+        return max(spec.capacity - self.alive_in_zone(zone), 0)
+
+    def spot_price(self, zone: str, time: Optional[float] = None) -> float:
+        """Hourly spot price of *zone* at *time* (defaults to now)."""
+        when = self.simulator.now if time is None else time
+        return self.zones[zone].spot_schedule(self.instance_type).price_at(when)
+
+    def on_demand_price(self, zone: str, time: Optional[float] = None) -> float:
+        """Hourly on-demand price of *zone* at *time* (defaults to now)."""
+        when = self.simulator.now if time is None else time
+        return self.zones[zone].on_demand_schedule(self.instance_type).price_at(when)
 
     @property
     def preempted_count(self) -> int:

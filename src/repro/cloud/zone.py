@@ -1,0 +1,79 @@
+"""Availability zones of the simulated spot market.
+
+The paper evaluates SpotServe inside a single spot pool, but a production
+deployment spans several availability zones, each with *independent*
+preemption dynamics (an AZ-wide capacity crunch reclaims instances in one
+zone while another stays quiet), its own capacity headroom, and its own spot
+price that drifts over time.  :class:`ZoneSpec` captures one such zone:
+
+* ``trace`` -- the zone's availability trace (initial fleet, preemption and
+  acquisition events), replayed independently of every other zone,
+* ``capacity`` -- upper bound on concurrently alive instances the zone will
+  host (``None`` = unlimited, the single-zone seed behaviour),
+* ``spot_pricing`` / ``on_demand_pricing`` -- hourly price schedules; spot
+  prices may spike mid-run, which is what the cost-aware autoscaling policy
+  arbitrages across zones.
+
+The :class:`~repro.cloud.provider.CloudProvider` accepts a list of zone
+specs and keeps a per-zone victim RNG so multi-zone replays stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .instance import DEFAULT_ZONE, InstanceType
+from .pricing import PriceSchedule
+from .trace import AvailabilityTrace
+
+
+@dataclass(frozen=True)
+class ZoneSpec:
+    """Static description of one availability zone."""
+
+    name: str
+    trace: AvailabilityTrace
+    capacity: Optional[int] = None
+    spot_pricing: Optional[PriceSchedule] = None
+    on_demand_pricing: Optional[PriceSchedule] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("zones must have a non-empty name")
+        if self.capacity is not None:
+            if self.capacity <= 0:
+                raise ValueError("zone capacity must be positive (or None for unlimited)")
+            if self.trace.initial_instances > self.capacity:
+                raise ValueError(
+                    f"zone {self.name}: trace starts with {self.trace.initial_instances} "
+                    f"instances but capacity is {self.capacity}"
+                )
+
+    def spot_schedule(self, instance_type: InstanceType) -> PriceSchedule:
+        """The zone's spot price schedule (instance-type default when unset)."""
+        if self.spot_pricing is not None:
+            return self.spot_pricing
+        return PriceSchedule.flat(instance_type.spot_price_per_hour)
+
+    def on_demand_schedule(self, instance_type: InstanceType) -> PriceSchedule:
+        """The zone's on-demand price schedule (instance-type default when unset)."""
+        if self.on_demand_pricing is not None:
+            return self.on_demand_pricing
+        return PriceSchedule.flat(instance_type.on_demand_price_per_hour)
+
+
+def single_zone(trace: AvailabilityTrace) -> List[ZoneSpec]:
+    """Wrap a bare trace into the legacy single-zone fleet."""
+    return [ZoneSpec(name=DEFAULT_ZONE, trace=trace)]
+
+
+def validate_zones(zones: Sequence[ZoneSpec]) -> List[ZoneSpec]:
+    """Check zone names are unique and return the zones as a list."""
+    names = [zone.name for zone in zones]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate zone names: {names}")
+    if not names:
+        raise ValueError("at least one zone is required")
+    return list(zones)

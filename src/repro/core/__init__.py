@@ -1,5 +1,16 @@
-"""SpotServe core: controller, device mapper, migration planner, recovery, server."""
+"""SpotServe core: controller, autoscaler, device mapper, migration, server."""
 
+from .autoscaler import (
+    Autoscaler,
+    AutoscaleDecision,
+    AutoscaleSignal,
+    CostAwarePolicy,
+    QueueLatencyPolicy,
+    TargetUtilizationPolicy,
+    ZoneView,
+    make_autoscaler,
+    make_policy,
+)
 from .config import ConfigurationSpace, ParallelConfig
 from .controller import (
     ConfigEstimate,
@@ -10,10 +21,20 @@ from .device_mapper import DeviceMapper, DeviceMapping
 from .interruption import InterruptionArrangement, InterruptionArranger
 from .migration import MigrationPlan, MigrationPlanner, MigrationStep
 from .server import ServingSystemBase, SpotServeOptions, SpotServeSystem
-from .stats import ReconfigurationRecord, ServingStats
+from .stats import AutoscaleRecord, ReconfigurationRecord, ServingStats
 
 __all__ = [
+    "AutoscaleDecision",
+    "AutoscaleRecord",
+    "AutoscaleSignal",
+    "Autoscaler",
     "ConfigEstimate",
+    "CostAwarePolicy",
+    "QueueLatencyPolicy",
+    "TargetUtilizationPolicy",
+    "ZoneView",
+    "make_autoscaler",
+    "make_policy",
     "ConfigurationSpace",
     "DeviceMapper",
     "DeviceMapping",

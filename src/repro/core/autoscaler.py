@@ -1,0 +1,461 @@
+"""Dynamic fleet autoscaling across availability zones.
+
+The paper's Algorithm 1 reacts to *supply* changes (preemptions and
+acquisitions); a production deployment must also react to *demand*: grow the
+fleet when traffic ramps and shed instances when it ebbs, and do so in the
+cheapest zone that still has capacity.  This module provides that layer:
+
+* :class:`AutoscaleSignal` -- a snapshot of the serving system each
+  adaptation round (arrival rate, estimated serving throughput, queue depth,
+  per-zone fleet/price/capacity views),
+* pluggable sizing policies deciding *how many* instances the fleet should
+  have: :class:`TargetUtilizationPolicy` (keep arrival/throughput near a
+  target), :class:`QueueLatencyPolicy` (bound the estimated queueing delay)
+  and :class:`CostAwarePolicy` (consult the offline-profiled cost model via
+  the :class:`~repro.core.controller.ParallelizationController` for the
+  smallest fleet that sustains the demand within an hourly budget),
+* :class:`Autoscaler` -- wraps a policy with min/max fleet bounds, a
+  cooldown, and the *zone arbitrage* step: acquisitions go to the cheapest
+  zones with free capacity, releases come from the most expensive zones
+  first.
+
+The serving system consults the autoscaler on every workload check (the
+paper's adaptation round); the resulting per-zone acquire/release requests
+are executed by the :class:`~repro.cloud.manager.InstanceManager`, and the
+parallelization controller then re-optimises the configuration for whatever
+fleet materialises.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .controller import ParallelizationController
+
+
+@dataclass(frozen=True)
+class ZoneView:
+    """Snapshot of one availability zone at decision time.
+
+    ``releasable_instances`` counts instances that could actually be given
+    back right now (held, ready, not hosting a live pipeline); it defaults
+    to ``alive_instances`` when the caller does not track pipeline usage.
+    """
+
+    name: str
+    alive_instances: int
+    capacity_remaining: int
+    spot_price: float
+    on_demand_price: float
+    releasable_instances: Optional[int] = None
+
+    @property
+    def releasable(self) -> int:
+        """Instances this zone can give back immediately."""
+        if self.releasable_instances is None:
+            return self.alive_instances
+        return self.releasable_instances
+
+
+@dataclass(frozen=True)
+class AutoscaleSignal:
+    """Everything a sizing policy may look at for one adaptation round.
+
+    ``current_instances`` counts *usable* instances (what is serving now);
+    ``pending_instances`` counts granted instances still inside their
+    startup delay, so repeated rounds do not re-request capacity that is
+    already on its way.
+    """
+
+    time: float
+    arrival_rate: float
+    serving_throughput: float
+    queue_depth: int
+    current_instances: int
+    gpus_per_instance: int
+    pending_instances: int = 0
+    #: Whether extra *spot* requests can be granted; when False every grant
+    #: falls through to the on-demand market, so zone arbitrage must compare
+    #: on-demand prices instead of spot prices.
+    spot_requests_allowed: bool = True
+    zones: Tuple[ZoneView, ...] = ()
+
+    @property
+    def utilization(self) -> float:
+        """Demand over capacity (``inf`` when nothing is serving)."""
+        if self.serving_throughput <= 0:
+            return float("inf") if self.arrival_rate > 0 else 0.0
+        return self.arrival_rate / self.serving_throughput
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """Per-zone acquire/release requests produced by one autoscaler round."""
+
+    acquire: Dict[str, int] = field(default_factory=dict)
+    release: Dict[str, int] = field(default_factory=dict)
+    desired_instances: int = 0
+    reason: str = ""
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the fleet is left untouched."""
+        return not self.acquire and not self.release
+
+    @property
+    def total_delta(self) -> int:
+        """Net requested change in fleet size."""
+        return sum(self.acquire.values()) - sum(self.release.values())
+
+
+class AutoscalePolicy(ABC):
+    """Decides the *total* fleet size; zone placement is the Autoscaler's job."""
+
+    name = "base"
+
+    @abstractmethod
+    def desired_instances(self, signal: AutoscaleSignal) -> int:
+        """Fleet size this policy wants, before bounds/capacity clamping."""
+
+
+class TargetUtilizationPolicy(AutoscalePolicy):
+    """Scale so that arrival rate / serving throughput approaches a target.
+
+    The classic cluster-autoscaler rule: ``desired = ceil(current *
+    utilization / target)``.  A dead band around the target suppresses
+    oscillation between adjacent fleet sizes.
+    """
+
+    name = "target-utilization"
+
+    def __init__(self, target: float = 0.7, dead_band: float = 0.1) -> None:
+        if not 0 < target <= 1:
+            raise ValueError("target utilization must be in (0, 1]")
+        if dead_band < 0:
+            raise ValueError("dead band must be non-negative")
+        self.target = target
+        self.dead_band = dead_band
+
+    def desired_instances(self, signal: AutoscaleSignal) -> int:
+        current = max(signal.current_instances, 1)
+        utilization = signal.utilization
+        if utilization == float("inf"):
+            return current + 1
+        if abs(utilization - self.target) <= self.dead_band:
+            return current
+        return max(int(math.ceil(current * utilization / self.target)), 1)
+
+
+class QueueLatencyPolicy(AutoscalePolicy):
+    """Bound the estimated queueing delay of waiting requests.
+
+    The backlog drains at the serving throughput, so ``queue_depth /
+    throughput`` estimates the wait of the last queued request.  Above
+    ``max_queue_delay`` the policy adds instances proportionally to the
+    excess; with an empty queue and low utilization it sheds one instance per
+    round (slow down, fast up).
+    """
+
+    name = "queue-latency"
+
+    def __init__(
+        self,
+        max_queue_delay: float = 60.0,
+        scale_down_utilization: float = 0.5,
+    ) -> None:
+        if max_queue_delay <= 0:
+            raise ValueError("max_queue_delay must be positive")
+        if not 0 <= scale_down_utilization < 1:
+            raise ValueError("scale_down_utilization must be in [0, 1)")
+        self.max_queue_delay = max_queue_delay
+        self.scale_down_utilization = scale_down_utilization
+
+    def desired_instances(self, signal: AutoscaleSignal) -> int:
+        current = max(signal.current_instances, 1)
+        if signal.serving_throughput <= 0:
+            return current + 1 if signal.queue_depth > 0 else current
+        queue_delay = signal.queue_depth / signal.serving_throughput
+        if queue_delay > self.max_queue_delay:
+            excess = queue_delay / self.max_queue_delay
+            return current + max(int(math.ceil(excess)) - 1, 1)
+        if signal.queue_depth == 0 and signal.utilization < self.scale_down_utilization:
+            return current - 1
+        return current
+
+
+class CostAwarePolicy(AutoscalePolicy):
+    """Smallest fleet that sustains the demand, within an hourly budget.
+
+    Consults the offline-profiled cost model through the parallelization
+    controller: for each candidate fleet size the controller proposes the
+    best configuration, and the first size whose throughput covers the
+    arrival rate (with headroom) wins.  ``budget_per_hour`` caps the fleet by
+    what the *cheapest currently available* spot price can buy, so a price
+    spike shrinks the ceiling instead of silently overspending.
+    """
+
+    name = "cost-aware"
+
+    def __init__(
+        self,
+        controller: ParallelizationController,
+        headroom: float = 1.1,
+        budget_per_hour: Optional[float] = None,
+        max_probe_instances: int = 32,
+    ) -> None:
+        if headroom < 1.0:
+            raise ValueError("headroom must be at least 1.0")
+        if budget_per_hour is not None and budget_per_hour <= 0:
+            raise ValueError("budget_per_hour must be positive")
+        self.controller = controller
+        self.headroom = headroom
+        self.budget_per_hour = budget_per_hour
+        self.max_probe_instances = max_probe_instances
+
+    def _budget_cap(self, signal: AutoscaleSignal) -> int:
+        if self.budget_per_hour is None or not signal.zones:
+            return self.max_probe_instances
+        # Cap by the price grants will actually accrue: spot when extra spot
+        # requests are possible, on-demand otherwise.
+        if signal.spot_requests_allowed:
+            cheapest = min(zone.spot_price for zone in signal.zones)
+        else:
+            cheapest = min(zone.on_demand_price for zone in signal.zones)
+        if cheapest <= 0:
+            return self.max_probe_instances
+        return max(int(self.budget_per_hour / cheapest), 1)
+
+    def desired_instances(self, signal: AutoscaleSignal) -> int:
+        demand = signal.arrival_rate * self.headroom
+        cap = min(self.max_probe_instances, self._budget_cap(signal))
+        # One sweep of the configuration space at the cap covers every
+        # smaller fleet too (a config needing n instances is reachable by
+        # every count >= n), so the smallest sustaining fleet falls out of a
+        # single enumeration instead of one optimizer run per candidate.
+        best_by_count: Dict[int, float] = {}
+        for config in self.controller.config_space.feasible_configs(cap):
+            estimate = self.controller.estimate(config, signal.arrival_rate)
+            if estimate.execution_latency == float("inf"):
+                continue
+            n = estimate.num_instances
+            best_by_count[n] = max(best_by_count.get(n, 0.0), estimate.throughput)
+        best_feasible: Optional[int] = None
+        reachable_best = 0.0
+        for count in range(1, cap + 1):
+            if count in best_by_count and best_by_count[count] > reachable_best:
+                reachable_best = best_by_count[count]
+                best_feasible = count
+            if best_feasible is not None and reachable_best >= demand:
+                return count
+        # Nothing sustains the demand within the cap: run the *smallest*
+        # fleet that reaches the best attainable throughput -- larger fleets
+        # whose configs are all slower would only add idle cost.
+        return best_feasible if best_feasible is not None else max(signal.current_instances, 1)
+
+
+class Autoscaler:
+    """Applies a sizing policy and arbitrages the delta across zones."""
+
+    def __init__(
+        self,
+        policy: AutoscalePolicy,
+        min_instances: int = 1,
+        max_instances: int = 32,
+        cooldown: float = 60.0,
+        scale_down_cooldown: Optional[float] = None,
+    ) -> None:
+        if min_instances < 0 or max_instances < min_instances:
+            raise ValueError("need 0 <= min_instances <= max_instances")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.policy = policy
+        self.min_instances = min_instances
+        self.max_instances = max_instances
+        self.cooldown = cooldown
+        self.scale_down_cooldown = (
+            scale_down_cooldown if scale_down_cooldown is not None else 2.0 * cooldown
+        )
+        self._last_action_time: Optional[float] = None
+        self._previous_action_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+    def plan(self, signal: AutoscaleSignal) -> AutoscaleDecision:
+        """One autoscaling round: size the fleet, then place the delta.
+
+        Growth is measured against the *committed* fleet (usable plus still
+        launching) so capacity already on its way is never re-requested;
+        shrinking is measured against the usable fleet only, since launching
+        instances cannot be released yet.
+        """
+        desired = self.policy.desired_instances(signal)
+        desired = min(max(desired, self.min_instances), self.max_instances)
+        committed = signal.current_instances + signal.pending_instances
+        reason = (
+            f"{self.policy.name}: desired={desired} current={signal.current_instances}"
+            f"{f'+{signal.pending_instances} launching' if signal.pending_instances else ''}"
+        )
+        if desired > committed:
+            if self._in_cooldown(signal.time, scaling_down=False):
+                return AutoscaleDecision(
+                    desired_instances=desired, reason=reason + " (cooldown)"
+                )
+            acquire = self._distribute_acquire(
+                desired - committed, signal.zones, signal.spot_requests_allowed
+            )
+            if not acquire:
+                return AutoscaleDecision(
+                    desired_instances=desired, reason=reason + " (no capacity)"
+                )
+            self._arm_cooldown(signal.time)
+            return AutoscaleDecision(
+                acquire=acquire, desired_instances=desired, reason=reason
+            )
+        if desired < signal.current_instances:
+            if self._in_cooldown(signal.time, scaling_down=True):
+                return AutoscaleDecision(
+                    desired_instances=desired, reason=reason + " (cooldown)"
+                )
+            release = self._distribute_release(
+                signal.current_instances - desired,
+                signal.zones,
+                signal.spot_requests_allowed,
+            )
+            if not release:
+                return AutoscaleDecision(
+                    desired_instances=desired, reason=reason + " (nothing releasable)"
+                )
+            self._arm_cooldown(signal.time)
+            return AutoscaleDecision(
+                release=release, desired_instances=desired, reason=reason
+            )
+        return AutoscaleDecision(desired_instances=desired, reason=reason)
+
+    def _arm_cooldown(self, time: float) -> None:
+        self._previous_action_time = self._last_action_time
+        self._last_action_time = time
+
+    def cancel_last_action(self, time: float) -> None:
+        """Roll back the cooldown armed at *time*.
+
+        Called by the executor when none of the decision could be applied
+        (e.g. every grant failed), so a phantom action does not suppress
+        real scaling for a whole cooldown window.
+        """
+        if self._last_action_time == time:
+            self._last_action_time = self._previous_action_time
+
+    def _in_cooldown(self, time: float, scaling_down: bool) -> bool:
+        if self._last_action_time is None:
+            return False
+        window = self.scale_down_cooldown if scaling_down else self.cooldown
+        return time - self._last_action_time < window
+
+    # ------------------------------------------------------------------
+    # Zone arbitrage
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _distribute_acquire(
+        count: int, zones: Sequence[ZoneView], spot_allowed: bool = True
+    ) -> Dict[str, int]:
+        """Send acquisitions to the cheapest zones with free capacity.
+
+        "Cheapest" means the price of the market the grant will actually
+        come from: the spot price when extra spot requests are possible,
+        the on-demand price otherwise.
+        """
+        if not zones:
+            return {}
+
+        def price(zone: ZoneView) -> float:
+            return zone.spot_price if spot_allowed else zone.on_demand_price
+
+        acquire: Dict[str, int] = {}
+        remaining = count
+        for zone in sorted(zones, key=lambda z: (price(z), z.name)):
+            room = max(zone.capacity_remaining, 0)
+            take = min(remaining, room)
+            if take > 0:
+                acquire[zone.name] = take
+                remaining -= take
+            if remaining == 0:
+                break
+        return acquire
+
+    @staticmethod
+    def _distribute_release(
+        count: int, zones: Sequence[ZoneView], spot_allowed: bool = True
+    ) -> Dict[str, int]:
+        """Release from the most expensive zones first.
+
+        "Most expensive" uses the price of the market the fleet is billed
+        in (spot normally, on-demand when spot requests are closed).  Only
+        *releasable* instances count, so a pricey zone whose fleet is pinned
+        by live pipelines is skipped and the release spills over to the next
+        zone instead of silently no-oping.
+        """
+        if not zones:
+            return {}
+
+        def price(zone: ZoneView) -> float:
+            return zone.spot_price if spot_allowed else zone.on_demand_price
+
+        release: Dict[str, int] = {}
+        remaining = count
+        for zone in sorted(zones, key=lambda z: (-price(z), z.name)):
+            take = min(remaining, max(zone.releasable, 0))
+            if take > 0:
+                release[zone.name] = take
+                remaining -= take
+            if remaining == 0:
+                break
+        return release
+
+
+#: Policy names accepted by :func:`make_autoscaler` (and SpotServeOptions).
+POLICY_NAMES = ("target-utilization", "queue-latency", "cost-aware")
+
+
+def make_policy(
+    name: str,
+    controller: Optional[ParallelizationController] = None,
+    **params,
+) -> AutoscalePolicy:
+    """Instantiate a sizing policy by name.
+
+    ``controller`` is required for the cost-aware policy (it consults the
+    offline-profiled cost model through it).
+    """
+    key = name.lower().replace("_", "-")
+    if key == "target-utilization":
+        return TargetUtilizationPolicy(**params)
+    if key == "queue-latency":
+        return QueueLatencyPolicy(**params)
+    if key == "cost-aware":
+        if controller is None:
+            raise ValueError("the cost-aware policy needs a ParallelizationController")
+        return CostAwarePolicy(controller, **params)
+    raise KeyError(f"unknown autoscaling policy {name!r}; available: {POLICY_NAMES}")
+
+
+def make_autoscaler(
+    policy: str,
+    controller: Optional[ParallelizationController] = None,
+    min_instances: int = 1,
+    max_instances: int = 32,
+    cooldown: float = 60.0,
+    scale_down_cooldown: Optional[float] = None,
+    **policy_params,
+) -> Autoscaler:
+    """Convenience constructor: policy by name plus autoscaler bounds."""
+    return Autoscaler(
+        make_policy(policy, controller=controller, **policy_params),
+        min_instances=min_instances,
+        max_instances=max_instances,
+        cooldown=cooldown,
+        scale_down_cooldown=scale_down_cooldown,
+    )

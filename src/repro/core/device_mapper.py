@@ -19,7 +19,7 @@ ablation baseline together with a greedy matcher).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..engine.context import DeviceId, MetaContextManager
 from ..engine.placement import (
@@ -83,7 +83,13 @@ class DeviceMapping:
 
 
 class DeviceMapper:
-    """Builds the bipartite reuse graph and solves it with Kuhn-Munkres."""
+    """Builds the bipartite reuse graph and solves it with Kuhn-Munkres.
+
+    ``zone_of`` (instance id -> availability zone) makes the mapper
+    zone-aware: positions that carry no reusable context are filled so that
+    each data-parallel pipeline stays inside as few zones as possible, which
+    keeps migration and activation hand-offs off the slow cross-zone links.
+    """
 
     def __init__(
         self,
@@ -91,11 +97,13 @@ class DeviceMapper:
         gpus_per_instance: int = 4,
         use_optimal_matching: bool = True,
         hierarchical: bool = True,
+        zone_of: Optional[Callable[[str], str]] = None,
     ) -> None:
         self.model = model
         self.gpus_per_instance = gpus_per_instance
         self.use_optimal_matching = use_optimal_matching
         self.hierarchical = hierarchical
+        self.zone_of = zone_of
 
     # ------------------------------------------------------------------
     # Edge weights
@@ -352,18 +360,48 @@ class DeviceMapper:
             result[device_id] = position
         return result
 
-    @staticmethod
     def _fill_unassigned(
+        self,
         placement: Dict[DeviceId, TopologyPosition],
         devices: Sequence[DeviceId],
         positions: Sequence[TopologyPosition],
     ) -> None:
-        """Assign leftover devices to leftover positions (zero-reuse pairs)."""
+        """Assign leftover devices to leftover positions (zero-reuse pairs).
+
+        Without zone information this is a plain deterministic zip.  With
+        ``zone_of`` each leftover position prefers a device from the zone
+        that already dominates its data-parallel pipeline, so fresh
+        placements cluster pipelines inside zones instead of striping them
+        across the slow inter-zone links.
+        """
         assigned_positions = set(placement.values())
         free_positions = [p for p in positions if p not in assigned_positions]
         free_devices = [d for d in devices if d not in placement]
-        for device_id, position in zip(free_devices, free_positions):
-            placement[device_id] = position
+        if self.zone_of is None:
+            for device_id, position in zip(free_devices, free_positions):
+                placement[device_id] = position
+            return
+        # Zone occupancy per data-parallel pipeline from what is already placed.
+        pipeline_zones: Dict[int, Dict[str, int]] = {}
+        for device_id, position in placement.items():
+            zone = self.zone_of(device_id[0])
+            votes = pipeline_zones.setdefault(position.data_index, {})
+            votes[zone] = votes.get(zone, 0) + 1
+        remaining = list(free_devices)
+        for position in free_positions:
+            if not remaining:
+                break
+            votes = pipeline_zones.setdefault(position.data_index, {})
+
+            def preference(device_id: DeviceId) -> Tuple:
+                zone = self.zone_of(device_id[0])
+                return (-votes.get(zone, 0), zone, device_id)
+
+            best = min(remaining, key=preference)
+            remaining.remove(best)
+            placement[best] = position
+            zone = self.zone_of(best[0])
+            votes[zone] = votes.get(zone, 0) + 1
 
     # ------------------------------------------------------------------
     # Helpers

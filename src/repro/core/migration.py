@@ -471,16 +471,26 @@ class MigrationPlanner:
     ) -> List[Tuple[Optional[DeviceId], float]]:
         """Split a needed shard interval into (source, fraction) pieces.
 
-        Sources on the same instance as *destination* are preferred (cheaper
-        transfers); portions nobody holds are attributed to storage
-        (``source=None``).
+        Sources on the same instance as *destination* are preferred, then
+        sources in the same availability zone (when the network model knows
+        zones), then everything else -- cross-zone pulls ride the slowest
+        link tier, so they are the last resort.  Portions nobody holds are
+        attributed to storage (``source=None``).
         """
         pieces: List[Tuple[Optional[DeviceId], float]] = []
         remaining = [needed]
-        candidates = sorted(
-            holders.get(layer, []),
-            key=lambda item: (item[1][0] != destination[0], item[1]),
-        )
+        zone_of = self.network.zone_of
+
+        def source_rank(item: Tuple[Tuple[float, float], DeviceId]) -> Tuple:
+            _, device_id = item
+            same_instance = device_id[0] == destination[0]
+            if zone_of is None:
+                same_zone = True
+            else:
+                same_zone = zone_of(device_id[0]) == zone_of(destination[0])
+            return (not same_instance, not same_zone, device_id)
+
+        candidates = sorted(holders.get(layer, []), key=source_rank)
         for interval, device_id in candidates:
             if not remaining:
                 break

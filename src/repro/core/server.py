@@ -32,12 +32,13 @@ from ..sim.engine import Simulator
 from ..sim.events import Event, EventType
 from ..sim.network import NetworkModel
 from ..workload.request import Request
+from .autoscaler import Autoscaler, AutoscaleSignal, ZoneView, make_autoscaler
 from .config import ConfigurationSpace, ParallelConfig
 from .controller import OptimizerDecision, ParallelizationController
 from .device_mapper import DeviceMapper, DeviceMapping
 from .interruption import InterruptionArranger
 from .migration import MigrationPlan, MigrationPlanner
-from .stats import ReconfigurationRecord, ServingStats
+from .stats import AutoscaleRecord, ReconfigurationRecord, ServingStats
 
 
 @dataclass
@@ -74,6 +75,14 @@ class SpotServeOptions:
     max_buffer_bytes: float = DEFAULT_MIGRATION_BUFFER_BYTES
     #: Optional latency SLO passed to the configuration optimizer.
     slo_latency: Optional[float] = None
+    #: Pre-built autoscaler instance (overrides ``autoscale_policy``).
+    autoscaler: Optional[Autoscaler] = None
+    #: Autoscaling policy name ("target-utilization", "queue-latency",
+    #: "cost-aware"); None disables demand-driven fleet sizing entirely.
+    autoscale_policy: Optional[str] = None
+    #: Keyword arguments forwarded to the autoscaler factory
+    #: (min_instances, max_instances, cooldown, policy parameters, ...).
+    autoscale_params: Optional[Dict] = None
 
 
 class ServingSystemBase:
@@ -100,7 +109,7 @@ class ServingSystemBase:
         self.options = options or SpotServeOptions()
         self.latency_model = latency_model or LatencyModel(model, provider.instance_type.gpu)
         self.memory_model = memory_model or MemoryModel(model, provider.instance_type.gpu)
-        self.network = network or NetworkModel()
+        self.network = network or NetworkModel(zone_of=provider.zone_of)
         self.input_length = input_length
         self.output_length = output_length
         self.initial_arrival_rate = initial_arrival_rate
@@ -129,6 +138,16 @@ class ServingSystemBase:
         self.controller = ParallelizationController(
             self.config_space, self.profiler, slo_latency=self.options.slo_latency
         )
+        if self.options.autoscaler is not None:
+            self.autoscaler: Optional[Autoscaler] = self.options.autoscaler
+        elif self.options.autoscale_policy is not None:
+            self.autoscaler = make_autoscaler(
+                self.options.autoscale_policy,
+                controller=self.controller,
+                **(self.options.autoscale_params or {}),
+            )
+        else:
+            self.autoscaler = None
 
         self.current_config: Optional[ParallelConfig] = None
         self.pipelines: List[InferencePipeline] = []
@@ -245,11 +264,113 @@ class ServingSystemBase:
         self.handle_acquisition_ready(instance)
 
     def _on_workload_check(self, event: Event) -> None:
+        self._run_autoscaler()
         self.handle_workload_check()
         if self.options.workload_check_interval > 0:
             self.simulator.schedule_after(
                 self.options.workload_check_interval, EventType.WORKLOAD_CHECK
             )
+
+    # ------------------------------------------------------------------
+    # Demand-driven fleet sizing (autoscaler)
+    # ------------------------------------------------------------------
+    def _pipeline_instance_ids(self) -> set:
+        """Instances hosting a live pipeline (must not be released)."""
+        return {
+            instance_id
+            for pipeline in self.pipelines
+            for instance_id in pipeline.assignment.instance_ids
+        }
+
+    def _autoscale_signal(self) -> AutoscaleSignal:
+        """Snapshot the serving state for one autoscaling round."""
+        now = self.simulator.now
+        arrival_rate = self.estimate_arrival_rate()
+        throughput = 0.0
+        if self.current_config is not None:
+            throughput = self.controller.estimate(
+                self.current_config, arrival_rate
+            ).throughput
+        in_use = self._pipeline_instance_ids()
+        releasable = self.instance_manager.zone_counts()
+        for instance in self.instance_manager.stable_instances():
+            if instance.instance_id in in_use:
+                releasable[instance.zone] -= 1
+        launching = sum(
+            1 for inst in self.provider.alive_instances() if not inst.is_usable
+        )
+        zones = tuple(
+            ZoneView(
+                name=name,
+                alive_instances=self.provider.alive_in_zone(name),
+                capacity_remaining=self.provider.capacity_remaining(name),
+                spot_price=self.provider.spot_price(name, now),
+                on_demand_price=self.provider.on_demand_price(name, now),
+                releasable_instances=releasable.get(name, 0),
+            )
+            for name in self.provider.zone_names
+        )
+        return AutoscaleSignal(
+            time=now,
+            arrival_rate=arrival_rate,
+            serving_throughput=throughput,
+            queue_depth=self.request_queue.pending,
+            current_instances=self.instance_manager.available_count(),
+            gpus_per_instance=self.gpus_per_instance,
+            pending_instances=launching,
+            spot_requests_allowed=self.provider.allow_spot_requests,
+            zones=zones,
+        )
+
+    def _run_autoscaler(self) -> None:
+        """Consult the autoscaler and apply its per-zone acquire/release plan.
+
+        Instances hosting live pipelines are protected from release; the
+        parallelization controller then re-optimises the configuration for
+        whatever fleet materialises (new instances announce themselves with
+        ``ACQUISITION_READY`` events, which already trigger a replan).
+        """
+        if self.autoscaler is None:
+            return
+        if self._reconfig_pending:
+            # Mid-migration the pipeline set is empty, so the release guard
+            # could not protect instances the in-flight placement depends
+            # on; defer to the next round (like _plan_reconfiguration does).
+            return
+        signal = self._autoscale_signal()
+        decision = self.autoscaler.plan(signal)
+        if decision.is_noop:
+            return
+        acquired: Dict[str, int] = {}
+        for zone in sorted(decision.acquire):
+            granted = self.instance_manager.alloc(decision.acquire[zone], zone=zone)
+            if granted:
+                acquired[zone] = len(granted)
+        released: Dict[str, int] = {}
+        if decision.release:
+            in_use = self._pipeline_instance_ids()
+            for zone in sorted(decision.release):
+                freed = self.instance_manager.free(
+                    decision.release[zone], zone=zone, keep_pool=False, avoid=in_use
+                )
+                if freed:
+                    released[zone] = len(freed)
+        if not acquired and not released:
+            # Nothing could be applied (e.g. every grant failed); undo the
+            # cooldown so the phantom action does not suppress real scaling.
+            self.autoscaler.cancel_last_action(signal.time)
+            return
+        self.stats.record_autoscale(
+            AutoscaleRecord(
+                time=signal.time,
+                policy=self.autoscaler.policy.name,
+                reason=decision.reason,
+                acquired=acquired,
+                released=released,
+                fleet_before=signal.current_instances,
+                desired_instances=decision.desired_instances,
+            )
+        )
 
     def _on_batch_completion(self, event: Event) -> None:
         pipeline: InferencePipeline = event.payload["pipeline"]
@@ -307,9 +428,12 @@ class ServingSystemBase:
     # Device / placement helpers
     # ------------------------------------------------------------------
     def _available_devices(self) -> List[DeviceId]:
+        # Zone-major ordering keeps each pipeline's contiguous position block
+        # inside one zone whenever the fleet allows it.
         devices: List[DeviceId] = []
         for instance in sorted(
-            self.instance_manager.stable_instances(), key=lambda inst: inst.instance_id
+            self.instance_manager.stable_instances(),
+            key=lambda inst: (inst.zone, inst.instance_id),
         ):
             devices.extend(instance.gpu_ids)
         return devices
@@ -569,6 +693,7 @@ class SpotServeSystem(ServingSystemBase):
             gpus_per_instance=self.gpus_per_instance,
             use_optimal_matching=self.options.optimal_device_mapping,
             hierarchical=self.options.hierarchical_mapping,
+            zone_of=self.provider.zone_of,
         )
         self.migration_planner = MigrationPlanner(
             self.model,
@@ -709,8 +834,12 @@ class SpotServeSystem(ServingSystemBase):
         # is capped by the on-demand budget (counting instances that are still
         # launching, so repeated triggers do not over-allocate); shrinking
         # follows what is actually being deployed so spare spot capacity is
-        # not released while it is still useful.
-        if decision.instance_delta > 0:
+        # not released while it is still useful.  When an autoscaler is
+        # active it owns fleet sizing, so Algorithm 1 only picks the
+        # configuration for the fleet at hand.
+        if self.autoscaler is not None:
+            pass
+        elif decision.instance_delta > 0:
             budget = decision.instance_delta
             if self.options.allow_on_demand:
                 budget = min(

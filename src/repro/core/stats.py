@@ -31,12 +31,31 @@ class ReconfigurationRecord:
 
 
 @dataclass
+class AutoscaleRecord:
+    """One fleet-sizing action taken by the autoscaler."""
+
+    time: float
+    policy: str
+    reason: str
+    acquired: Dict[str, int] = field(default_factory=dict)
+    released: Dict[str, int] = field(default_factory=dict)
+    fleet_before: int = 0
+    desired_instances: int = 0
+
+    @property
+    def delta(self) -> int:
+        """Net requested fleet change."""
+        return sum(self.acquired.values()) - sum(self.released.values())
+
+
+@dataclass
 class ServingStats:
     """Aggregated counters and logs for one serving run."""
 
     system_name: str = ""
     completed_requests: List[Request] = field(default_factory=list)
     reconfigurations: List[ReconfigurationRecord] = field(default_factory=list)
+    autoscale_actions: List[AutoscaleRecord] = field(default_factory=list)
     tokens_generated: int = 0
     tokens_recomputed: int = 0
     preemption_notices: int = 0
@@ -60,6 +79,10 @@ class ServingStats:
         """Record one reparallelization."""
         self.reconfigurations.append(record)
         self.record_config(record.time, record.new_config)
+
+    def record_autoscale(self, record: AutoscaleRecord) -> None:
+        """Record one autoscaler fleet-sizing action."""
+        self.autoscale_actions.append(record)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -91,3 +114,43 @@ class ServingStats:
     def total_stall_time(self) -> float:
         """Total serving stall caused by reconfigurations."""
         return sum(record.stall_time for record in self.reconfigurations)
+
+    # ------------------------------------------------------------------
+    # Deterministic summary (golden regression tests)
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Flat, deterministic digest of the whole run.
+
+        Contains only values that are exact functions of the seeded
+        simulation (no wall-clock, no object identities), so two runs with
+        the same seed and trace must produce equal summaries.
+        """
+        latencies = self.latencies()
+        return {
+            "system": self.system_name,
+            "completed": self.completed_count,
+            "tokens_generated": self.tokens_generated,
+            "tokens_recomputed": self.tokens_recomputed,
+            "preemption_notices": self.preemption_notices,
+            "acquisitions": self.acquisitions,
+            "interrupted_batches": self.interrupted_batches,
+            "rerouted_batches": self.rerouted_batches,
+            "reconfiguration_count": len(self.reconfigurations),
+            "autoscale_action_count": len(self.autoscale_actions),
+            "autoscale_net_delta": sum(r.delta for r in self.autoscale_actions),
+            "total_stall_time": self.total_stall_time,
+            "latency_sum": sum(latencies),
+            "latency_max": max(latencies) if latencies else 0.0,
+            "config_timeline": [
+                (time, str(config)) for time, config in self.config_timeline
+            ],
+        }
+
+    def summary_text(self) -> str:
+        """Byte-comparable rendering of :meth:`summary` (one ``key=repr`` per line).
+
+        ``repr`` keeps the full precision of every float, so *any* divergence
+        between two supposedly identical runs shows up.
+        """
+        summary = self.summary()
+        return "\n".join(f"{key}={summary[key]!r}" for key in sorted(summary))

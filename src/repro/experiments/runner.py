@@ -10,11 +10,12 @@ and returns an :class:`ExperimentResult` the benchmarks and examples report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Optional, Sequence, Type
 
 from ..cloud.instance import G4DN_12XLARGE, InstanceType, Market
 from ..cloud.provider import CloudProvider
 from ..cloud.trace import AvailabilityTrace
+from ..cloud.zone import ZoneSpec
 from ..core.server import ServingSystemBase, SpotServeOptions, SpotServeSystem
 from ..core.stats import ServingStats
 from ..llm.spec import ModelSpec, get_model
@@ -43,6 +44,7 @@ class ExperimentResult:
     spot_cost: float
     on_demand_cost: float
     tokens_generated: int
+    cost_by_zone: Dict[str, float] = field(default_factory=dict)
 
     @property
     def completion_ratio(self) -> float:
@@ -74,7 +76,7 @@ class ExperimentResult:
 def run_serving_experiment(
     system_cls: Type[ServingSystemBase],
     model: ModelSpec | str,
-    trace: AvailabilityTrace,
+    trace: Optional[AvailabilityTrace],
     arrival_process: ArrivalProcess,
     duration: Optional[float] = None,
     drain_time: float = DEFAULT_DRAIN_TIME,
@@ -83,6 +85,8 @@ def run_serving_experiment(
     trace_market: Market = Market.SPOT,
     initial_arrival_rate: Optional[float] = None,
     requests: Optional[List[Request]] = None,
+    zones: Optional[Sequence[ZoneSpec]] = None,
+    allow_spot_requests: bool = False,
 ) -> ExperimentResult:
     """Run one serving experiment end to end.
 
@@ -93,7 +97,7 @@ def run_serving_experiment(
     model:
         Model spec or catalog name.
     trace:
-        Spot availability trace to replay.
+        Spot availability trace to replay (``None`` when *zones* is given).
     arrival_process:
         Generates the request workload (ignored when *requests* is given).
     duration:
@@ -112,13 +116,32 @@ def run_serving_experiment(
     requests:
         Pre-generated requests (overrides *arrival_process* generation so the
         identical workload can be replayed against several systems).
+    zones:
+        Availability zones of a multi-zone spot market (mutually exclusive
+        with *trace*); each zone replays its own trace, capacity and prices.
+    allow_spot_requests:
+        Let the serving system (autoscaler) request extra spot instances
+        beyond what the traces grant.
     """
     model_spec = get_model(model) if isinstance(model, str) else model
-    run_duration = duration if duration is not None else trace.duration
+    if trace is not None:
+        default_duration = trace.duration
+        trace_name = trace.name
+    elif zones:
+        default_duration = max(zone.trace.duration for zone in zones)
+        trace_name = "+".join(zone.name for zone in zones)
+    else:
+        raise ValueError("either a trace or zones must be provided")
+    run_duration = duration if duration is not None else default_duration
 
     simulator = Simulator()
     provider = CloudProvider(
-        simulator, trace, instance_type=instance_type, trace_market=trace_market
+        simulator,
+        trace,
+        instance_type=instance_type,
+        trace_market=trace_market,
+        zones=zones,
+        allow_spot_requests=allow_spot_requests,
     )
     workload = requests if requests is not None else arrival_process.generate(run_duration)
     if initial_arrival_rate is None:
@@ -141,7 +164,7 @@ def run_serving_experiment(
     return ExperimentResult(
         system_name=system.name,
         model_name=model_spec.name,
-        trace_name=trace.name,
+        trace_name=trace_name,
         duration=run_duration,
         stats=stats,
         latency=latency,
@@ -151,13 +174,14 @@ def run_serving_experiment(
         spot_cost=tracker.total_cost(now, Market.SPOT),
         on_demand_cost=tracker.total_cost(now, Market.ON_DEMAND),
         tokens_generated=stats.tokens_generated,
+        cost_by_zone=tracker.cost_by_zone(now),
     )
 
 
 def run_comparison(
     systems: Dict[str, Type[ServingSystemBase]],
     model: ModelSpec | str,
-    trace: AvailabilityTrace,
+    trace: Optional[AvailabilityTrace],
     arrival_process: ArrivalProcess,
     duration: Optional[float] = None,
     options_by_system: Optional[Dict[str, SpotServeOptions]] = None,
@@ -167,10 +191,21 @@ def run_comparison(
 
     The request list is generated once and deep-replayed for every system so
     the comparison is workload-identical (the paper replays the same trace
-    segment for every system).
+    segment for every system).  Multi-zone fleets pass ``trace=None`` plus a
+    ``zones=...`` keyword (forwarded to :func:`run_serving_experiment`).
     """
     model_spec = get_model(model) if isinstance(model, str) else model
-    run_duration = duration if duration is not None else trace.duration
+    if trace is not None:
+        run_duration = duration if duration is not None else trace.duration
+    else:
+        zones = kwargs.get("zones")
+        if not zones:
+            raise ValueError("either a trace or zones must be provided")
+        run_duration = (
+            duration
+            if duration is not None
+            else max(zone.trace.duration for zone in zones)
+        )
     template = arrival_process.generate(run_duration)
     options_by_system = options_by_system or {}
     results: Dict[str, ExperimentResult] = {}

@@ -13,9 +13,11 @@ from typing import Dict, List, Optional, Tuple, Type
 
 from ..baselines.reparallelization import ReparallelizationSystem
 from ..baselines.rerouting import RequestReroutingSystem
-from ..cloud.trace import AvailabilityTrace, get_trace
+from ..cloud.pricing import PriceSchedule
+from ..cloud.trace import AvailabilityTrace, TraceEvent, TraceEventKind, get_trace
+from ..cloud.zone import ZoneSpec
 from ..core.server import ServingSystemBase, SpotServeOptions, SpotServeSystem
-from ..workload.arrival import GammaArrivals, default_rate_for
+from ..workload.arrival import GammaArrivals, TimeVaryingArrivals, default_rate_for
 from ..workload.maf import synthesize_maf_profile
 
 #: The three systems compared in Figures 6, 7 and 8.
@@ -99,6 +101,121 @@ def stable_workload_scenario(
         allow_on_demand=allow_on_demand,
         seed=seed,
     )
+
+
+@dataclass(frozen=True)
+class MultiZoneScenario:
+    """A fleet spanning several availability zones with dynamic autoscaling.
+
+    This goes beyond the paper's single-pool evaluation: each zone replays an
+    independent preemption trace with its own capacity limit and (possibly
+    spiking) spot price, and the serving system runs an autoscaling policy
+    that grows/shrinks the fleet per zone as demand fluctuates.
+    """
+
+    model_name: str
+    zones: Tuple[ZoneSpec, ...]
+    duration: float
+    seed: int = 0
+    autoscale_policy: str = "cost-aware"
+    min_instances: int = 2
+    max_instances: int = 14
+    cooldown: float = 60.0
+    allow_on_demand: bool = True
+
+    @property
+    def initial_instances(self) -> int:
+        """Fleet size at time zero across all zones."""
+        return sum(zone.trace.initial_instances for zone in self.zones)
+
+    def options(self) -> SpotServeOptions:
+        """SpotServe options with the scenario's autoscaler enabled."""
+        return SpotServeOptions(
+            allow_on_demand=self.allow_on_demand,
+            autoscale_policy=self.autoscale_policy,
+            autoscale_params={
+                "min_instances": self.min_instances,
+                "max_instances": self.max_instances,
+                "cooldown": self.cooldown,
+            },
+        )
+
+
+def three_zone_market(duration: float = 900.0) -> Tuple[ZoneSpec, ...]:
+    """Three availability zones with distinct price and preemption character.
+
+    * ``us-east-1a`` -- cheapest, but volatile: clustered preemptions and a
+      mid-run price spike (the classic spot-market capacity crunch),
+    * ``us-east-1b`` -- moderately priced and calmer,
+    * ``us-west-2a`` -- expensive, stable and small (the "insurance" zone).
+    """
+    zone_a = ZoneSpec(
+        name="us-east-1a",
+        trace=AvailabilityTrace(
+            name="1a",
+            initial_instances=4,
+            events=[
+                TraceEvent(200.0, TraceEventKind.PREEMPT, 2),
+                TraceEvent(420.0, TraceEventKind.ACQUIRE, 1),
+                TraceEvent(650.0, TraceEventKind.PREEMPT, 1),
+            ],
+            duration=duration,
+        ),
+        capacity=8,
+        spot_pricing=PriceSchedule(
+            base_price=1.5, changes=((360.0, 3.2), (640.0, 1.6))
+        ),
+    )
+    zone_b = ZoneSpec(
+        name="us-east-1b",
+        trace=AvailabilityTrace(
+            name="1b",
+            initial_instances=3,
+            events=[TraceEvent(480.0, TraceEventKind.PREEMPT, 1)],
+            duration=duration,
+        ),
+        capacity=6,
+        spot_pricing=PriceSchedule.flat(1.9),
+    )
+    zone_c = ZoneSpec(
+        name="us-west-2a",
+        trace=AvailabilityTrace(
+            name="2a",
+            initial_instances=2,
+            events=[],
+            duration=duration,
+        ),
+        capacity=4,
+        spot_pricing=PriceSchedule.flat(2.6),
+        on_demand_pricing=PriceSchedule.flat(4.4),
+    )
+    return (zone_a, zone_b, zone_c)
+
+
+def multi_zone_fluctuating_scenario(
+    model_name: str = "OPT-6.7B",
+    duration: float = 900.0,
+    seed: int = 0,
+    rate_multiplier: float = 1.4,
+    autoscale_policy: str = "cost-aware",
+) -> Tuple[MultiZoneScenario, TimeVaryingArrivals]:
+    """Three-zone spot market under a fluctuating (MAF-like) workload.
+
+    Returns the scenario plus the time-varying arrival process.  The load
+    ramps well past what the initial fleet sustains, forcing the autoscaler
+    to grow the fleet (in the cheapest zone with capacity) and later shed
+    instances as the load decays.
+    """
+    profile = synthesize_maf_profile(duration=duration, seed=seed)
+    rescaled = profile.rescaled(default_rate_for(model_name) * rate_multiplier)
+    scenario = MultiZoneScenario(
+        model_name=model_name,
+        zones=three_zone_market(duration),
+        duration=duration,
+        seed=seed,
+        autoscale_policy=autoscale_policy,
+    )
+    return scenario, rescaled.to_arrival_process(cv=6.0, seed=seed)
 
 
 def fluctuating_workload_scenario(

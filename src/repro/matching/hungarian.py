@@ -93,10 +93,10 @@ def minimum_cost_assignment(cost_matrix: Sequence[Sequence[float]]) -> List[Tupl
     assignments with the smallest possible total cost.
     """
     cost = np.asarray(cost_matrix, dtype=float)
-    if cost.ndim != 2:
-        raise ValueError("cost_matrix must be two-dimensional")
     if cost.size == 0:
         return []
+    if cost.ndim != 2:
+        raise ValueError("cost_matrix must be two-dimensional")
     if not np.isfinite(cost).all():
         raise ValueError("cost_matrix entries must be finite")
     rows, cols = cost.shape
@@ -121,10 +121,10 @@ def maximum_weight_assignment(
     vice versa, maximising the total weight (reusable context bytes).
     """
     weights = np.asarray(weight_matrix, dtype=float)
-    if weights.ndim != 2:
-        raise ValueError("weight_matrix must be two-dimensional")
     if weights.size == 0:
         return []
+    if weights.ndim != 2:
+        raise ValueError("weight_matrix must be two-dimensional")
     if not np.isfinite(weights).all():
         raise ValueError("weight_matrix entries must be finite")
     # Maximising weight == minimising (max_weight - weight).

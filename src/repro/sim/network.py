@@ -6,15 +6,21 @@ migration planner only needs to know *how long a set of transfers takes* and
 *how much buffer memory they occupy*; both are functions of tensor sizes and
 link bandwidths.  This module provides that model.
 
-Two link classes are distinguished, mirroring the hierarchical device mapper
-in the paper (Section 3.3): fast intra-instance links (NVLink / PCIe between
-GPUs on the same machine) and slower inter-instance links (cloud Ethernet).
+Three link classes are distinguished, mirroring the hierarchical device
+mapper in the paper (Section 3.3) extended with availability zones: fast
+intra-instance links (NVLink / PCIe between GPUs on the same machine),
+slower inter-instance links (cloud Ethernet inside one zone), and the
+slowest cross-zone links (inter-AZ traffic, which clouds both throttle and
+bill).  Zone membership is resolved through an optional ``zone_of`` callable
+(typically :meth:`repro.cloud.provider.CloudProvider.zone_of`); without it
+every instance is assumed to share one zone, which reproduces the seed's
+two-tier behaviour exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 GB = 1024 ** 3
 
@@ -26,15 +32,23 @@ class NetworkSpec:
     Attributes
     ----------
     inter_instance_bandwidth:
-        Point-to-point bandwidth between two different instances, bytes/s.
-        AWS g4dn.12xlarge offers 50 Gbit/s of instance networking; a single
-        TCP/NCCL flow realistically sustains a fraction of that.
+        Point-to-point bandwidth between two different instances in the same
+        availability zone, bytes/s.  AWS g4dn.12xlarge offers 50 Gbit/s of
+        instance networking; a single TCP/NCCL flow realistically sustains a
+        fraction of that.
     intra_instance_bandwidth:
         Bandwidth between GPUs on the same instance (PCIe 3.0 x16 on g4dn),
         bytes/s.
+    cross_zone_bandwidth:
+        Bandwidth between instances in *different* availability zones,
+        bytes/s.  Inter-AZ links ride metro fibre and are both slower and
+        metered, so cross-zone migration is the expensive tier.
     per_transfer_latency:
         Fixed startup latency per transfer (connection setup, NCCL kernel
         launch), seconds.
+    cross_zone_latency:
+        Fixed startup latency for a transfer that crosses zones (higher RTT
+        plus the cloud's inter-AZ hop), seconds.
     concurrent_streams:
         Number of transfers that can proceed in parallel across distinct
         instance pairs without sharing bandwidth.
@@ -42,13 +56,19 @@ class NetworkSpec:
 
     inter_instance_bandwidth: float = 4.0 * GB
     intra_instance_bandwidth: float = 12.0 * GB
+    cross_zone_bandwidth: float = 1.25 * GB
     per_transfer_latency: float = 0.001
+    cross_zone_latency: float = 0.004
     concurrent_streams: int = 8
 
     def __post_init__(self) -> None:
-        if self.inter_instance_bandwidth <= 0 or self.intra_instance_bandwidth <= 0:
+        if (
+            self.inter_instance_bandwidth <= 0
+            or self.intra_instance_bandwidth <= 0
+            or self.cross_zone_bandwidth <= 0
+        ):
             raise ValueError("bandwidths must be positive")
-        if self.per_transfer_latency < 0:
+        if self.per_transfer_latency < 0 or self.cross_zone_latency < 0:
             raise ValueError("latency must be non-negative")
         if self.concurrent_streams < 1:
             raise ValueError("need at least one concurrent stream")
@@ -81,21 +101,41 @@ class Transfer:
 
 
 class NetworkModel:
-    """Estimates transfer durations for context migration."""
+    """Estimates transfer durations for context migration.
 
-    def __init__(self, spec: Optional[NetworkSpec] = None) -> None:
+    ``zone_of`` maps an instance id to its availability zone; when provided,
+    transfers whose endpoints live in different zones are charged at the
+    (slower, higher-latency) cross-zone tier.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[NetworkSpec] = None,
+        zone_of: Optional[Callable[[str], str]] = None,
+    ) -> None:
         self.spec = spec or NetworkSpec()
+        self.zone_of = zone_of
+
+    def is_cross_zone(self, transfer: Transfer) -> bool:
+        """True when the transfer's endpoints live in different zones."""
+        if transfer.is_local or self.zone_of is None:
+            return False
+        return self.zone_of(transfer.src[0]) != self.zone_of(transfer.dst[0])
 
     def transfer_time(self, transfer: Transfer) -> float:
         """Duration in seconds of a single transfer."""
         if transfer.is_noop or transfer.size_bytes <= 0:
             return 0.0
-        bandwidth = (
-            self.spec.intra_instance_bandwidth
-            if transfer.is_local
-            else self.spec.inter_instance_bandwidth
-        )
-        return self.spec.per_transfer_latency + transfer.size_bytes / bandwidth
+        if transfer.is_local:
+            bandwidth = self.spec.intra_instance_bandwidth
+            latency = self.spec.per_transfer_latency
+        elif self.is_cross_zone(transfer):
+            bandwidth = self.spec.cross_zone_bandwidth
+            latency = self.spec.cross_zone_latency
+        else:
+            bandwidth = self.spec.inter_instance_bandwidth
+            latency = self.spec.per_transfer_latency
+        return latency + transfer.size_bytes / bandwidth
 
     def batch_time(self, transfers: Iterable[Transfer]) -> float:
         """Duration of a batch of transfers executed together.
@@ -132,4 +172,14 @@ class NetworkModel:
         """Payload that crosses instance boundaries (the expensive part)."""
         return float(
             sum(t.size_bytes for t in transfers if not t.is_noop and not t.is_local)
+        )
+
+    def cross_zone_bytes(self, transfers: Sequence[Transfer]) -> float:
+        """Payload that crosses availability zones (the most expensive part)."""
+        return float(
+            sum(
+                t.size_bytes
+                for t in transfers
+                if not t.is_noop and self.is_cross_zone(t)
+            )
         )

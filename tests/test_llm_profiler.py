@@ -1,0 +1,73 @@
+"""Tests for the offline configuration profiler."""
+
+import pytest
+
+from repro.llm.costmodel import LatencyModel
+from repro.llm.hardware import T4
+from repro.llm.memory import MemoryModel
+from repro.llm.profiler import OfflineProfiler
+from repro.llm.spec import get_model
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    model = get_model("OPT-6.7B")
+    latency_model = LatencyModel(model, T4)
+    return OfflineProfiler(latency_model, MemoryModel(model, T4))
+
+
+class TestProfile:
+    def test_entry_fields_are_positive(self, profiler):
+        entry = profiler.profile(1, 2, 2, 4)
+        assert entry.latency > 0
+        assert entry.prefill_time > 0
+        assert entry.decode_iteration_time > 0
+        assert entry.throughput > 0
+
+    def test_profile_is_cached(self, profiler):
+        first = profiler.profile(2, 1, 4, 8)
+        second = profiler.profile(2, 1, 4, 8)
+        assert first is second
+        assert first.key in {e.key for e in profiler.cached_entries()}
+
+    def test_num_gpus(self, profiler):
+        entry = profiler.profile(2, 3, 4, 1)
+        assert entry.num_gpus == 24
+
+    def test_data_parallel_replicas_scale_throughput(self, profiler):
+        one = profiler.profile(1, 1, 4, 4)
+        two = profiler.profile(2, 1, 4, 4)
+        assert two.throughput == pytest.approx(2.0 * one.throughput)
+        # Execution latency of a single batch does not change with replicas.
+        assert two.latency == pytest.approx(one.latency)
+
+    def test_clear_drops_cache(self, profiler):
+        profiler.profile(1, 1, 4, 1)
+        profiler.clear()
+        assert profiler.cached_entries() == []
+
+
+class TestSweep:
+    def test_sweep_respects_gpu_budget(self, profiler):
+        entries = profiler.sweep(max_gpus=8)
+        assert entries
+        assert all(entry.num_gpus <= 8 for entry in entries)
+
+    def test_sweep_only_returns_memory_feasible_entries(self, profiler):
+        entries = profiler.sweep(max_gpus=8)
+        assert all(entry.fits_memory for entry in entries)
+
+    def test_sweep_respects_divisibility(self, profiler):
+        model = profiler.latency_model.model
+        for entry in profiler.sweep(max_gpus=8):
+            assert model.num_layers % entry.pipeline_degree == 0
+            assert model.num_heads % entry.tensor_degree == 0
+
+    def test_sweep_batch_sizes(self, profiler):
+        entries = profiler.sweep(max_gpus=4, batch_sizes=(2,))
+        assert entries
+        assert all(entry.batch_size == 2 for entry in entries)
+
+    def test_sweep_rejects_non_positive_budget(self, profiler):
+        with pytest.raises(ValueError):
+            profiler.sweep(max_gpus=0)

@@ -1,0 +1,131 @@
+"""Randomized cross-check of the Kuhn-Munkres solver against brute force.
+
+The device mapper trusts :mod:`repro.matching.hungarian` to be *optimal*;
+this suite verifies optimality exhaustively on small rectangular matrices
+(where all assignments can be enumerated), including the degenerate shapes
+the mapper actually produces: empty graphs, single rows/columns, heavy ties
+and near-infinite sentinel costs.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.matching.hungarian import (
+    assignment_weight,
+    greedy_assignment,
+    maximum_weight_assignment,
+    minimum_cost_assignment,
+)
+
+
+def brute_force_min_cost(cost):
+    """Exhaustive minimum-cost assignment on a small rectangular matrix."""
+    cost = np.asarray(cost, dtype=float)
+    rows, cols = cost.shape
+    best = None
+    if rows <= cols:
+        for combo in itertools.permutations(range(cols), rows):
+            total = sum(cost[r, c] for r, c in enumerate(combo))
+            if best is None or total < best:
+                best = total
+    else:
+        for combo in itertools.permutations(range(rows), cols):
+            total = sum(cost[r, c] for c, r in enumerate(combo))
+            if best is None or total < best:
+                best = total
+    return best
+
+
+def solver_cost(cost):
+    assignment = minimum_cost_assignment(cost)
+    cost = np.asarray(cost, dtype=float)
+    assert len(assignment) == min(cost.shape)
+    rows = [r for r, _ in assignment]
+    cols = [c for _, c in assignment]
+    assert len(set(rows)) == len(rows)
+    assert len(set(cols)) == len(cols)
+    return sum(cost[r, c] for r, c in assignment)
+
+
+class TestDegenerateShapes:
+    def test_empty_matrix(self):
+        assert minimum_cost_assignment([]) == []
+        assert maximum_weight_assignment([]) == []
+
+    def test_single_cell(self):
+        assert minimum_cost_assignment([[7.0]]) == [(0, 0)]
+
+    def test_one_by_n_picks_cheapest_column(self):
+        assert minimum_cost_assignment([[5.0, 1.0, 3.0]]) == [(0, 1)]
+
+    def test_n_by_one_picks_cheapest_row(self):
+        assignment = minimum_cost_assignment([[5.0], [1.0], [3.0]])
+        assert assignment == [(1, 0)]
+
+    def test_all_ties_assigns_everyone_once(self):
+        cost = np.ones((4, 4))
+        assignment = minimum_cost_assignment(cost)
+        assert sorted(r for r, _ in assignment) == [0, 1, 2, 3]
+        assert sorted(c for _, c in assignment) == [0, 1, 2, 3]
+        assert solver_cost(cost) == pytest.approx(4.0)
+
+    def test_infinite_costs_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_cost_assignment([[1.0, float("inf")], [2.0, 3.0]])
+        with pytest.raises(ValueError):
+            maximum_weight_assignment([[float("nan"), 1.0]])
+
+    def test_large_sentinel_costs_avoided(self):
+        # The mapper encodes "forbidden" edges as huge-but-finite costs; the
+        # solver must route around them when an alternative exists.
+        big = 1e15
+        cost = [[big, 1.0], [2.0, big]]
+        assignment = sorted(minimum_cost_assignment(cost))
+        assert assignment == [(0, 1), (1, 0)]
+
+
+class TestRandomizedCrossCheck:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_square_matrices_match_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        cost = rng.uniform(0.0, 10.0, size=(n, n))
+        assert solver_cost(cost) == pytest.approx(brute_force_min_cost(cost))
+
+    @pytest.mark.parametrize("seed", range(20, 40))
+    def test_rectangular_matrices_match_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 6))
+        cols = int(rng.integers(1, 6))
+        cost = rng.uniform(0.0, 10.0, size=(rows, cols))
+        assert solver_cost(cost) == pytest.approx(brute_force_min_cost(cost))
+
+    @pytest.mark.parametrize("seed", range(40, 52))
+    def test_tie_heavy_matrices_match_brute_force(self, seed):
+        # Integer costs from a tiny alphabet force many optimal ties; the
+        # solver must still land on *an* optimum.
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(2, 6))
+        cols = int(rng.integers(2, 6))
+        cost = rng.integers(0, 3, size=(rows, cols)).astype(float)
+        assert solver_cost(cost) == pytest.approx(brute_force_min_cost(cost))
+
+    @pytest.mark.parametrize("seed", range(52, 64))
+    def test_maximum_weight_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 6))
+        cols = int(rng.integers(1, 6))
+        weights = rng.uniform(0.0, 5.0, size=(rows, cols))
+        assignment = maximum_weight_assignment(weights)
+        best = -brute_force_min_cost(-weights)
+        assert assignment_weight(weights, assignment) == pytest.approx(best)
+
+    @pytest.mark.parametrize("seed", range(64, 72))
+    def test_optimal_never_worse_than_greedy(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.0, 5.0, size=(5, 5))
+        optimal = assignment_weight(weights, maximum_weight_assignment(weights))
+        greedy = assignment_weight(weights, greedy_assignment(weights))
+        assert optimal >= greedy - 1e-9

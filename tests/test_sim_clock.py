@@ -1,0 +1,63 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulationClock(start=5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(start=-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimulationClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimulationClock(start=10.0)
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_tolerates_tiny_regression(self):
+        # Floating-point jitter below the tolerance must not raise (and must
+        # never move the clock backwards).
+        clock = SimulationClock(start=10.0)
+        clock.advance_to(10.0 - 1e-12)
+        assert clock.now == 10.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimulationClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_advance_by_accumulates(self):
+        clock = SimulationClock()
+        clock.advance_by(3.0)
+        clock.advance_by(4.5)
+        assert clock.now == pytest.approx(7.5)
+
+    def test_advance_by_negative_rejected(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.advance_by(-0.1)
+
+    def test_reset(self):
+        clock = SimulationClock()
+        clock.advance_to(100.0)
+        clock.reset()
+        assert clock.now == 0.0
+        clock.reset(start=2.0)
+        assert clock.now == 2.0
+
+    def test_reset_negative_rejected(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.reset(start=-5.0)
