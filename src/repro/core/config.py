@@ -104,10 +104,60 @@ class ConfigurationSpace:
         self.tensor_degrees = tuple(sorted(set(tensor_degrees)))
         self.gpus_per_instance = gpus_per_instance
         self.max_data_degree = max_data_degree
+        self._feasible_cache: dict = {}
+        self._generation = 0
         self.migration_buffer_bytes = migration_buffer_bytes
         self.require_divisible_layers = require_divisible_layers
         if not self.batch_sizes or not self.tensor_degrees:
             raise ValueError("batch_sizes and tensor_degrees must be non-empty")
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    #: Attributes whose mutation changes which configurations are feasible;
+    #: assigning any of them after construction drops the enumeration cache.
+    _CACHE_SENSITIVE = frozenset(
+        {
+            "model",
+            "memory_model",
+            "batch_sizes",
+            "tensor_degrees",
+            "gpus_per_instance",
+            "max_data_degree",
+            "require_divisible_layers",
+        }
+    )
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name in self._CACHE_SENSITIVE and "_feasible_cache" in self.__dict__:
+            self.invalidate_cache()
+
+    @property
+    def migration_buffer_bytes(self) -> float:
+        """Per-instance migration buffer reserved by the memory check."""
+        return self._migration_buffer_bytes
+
+    @migration_buffer_bytes.setter
+    def migration_buffer_bytes(self, value: float) -> None:
+        # The buffer reservation changes which configurations fit in memory,
+        # so any cached enumeration is stale.
+        self._migration_buffer_bytes = value
+        self.invalidate_cache()
+
+    @property
+    def generation(self) -> int:
+        """Bumped whenever the feasible space may have changed.
+
+        Downstream memos (the controller's per-round estimate sweeps) key
+        their validity on this counter.
+        """
+        return self._generation
+
+    def invalidate_cache(self) -> None:
+        """Drop memoised enumerations (e.g. after mutating the memory model)."""
+        self._feasible_cache.clear()
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # Enumeration
@@ -123,9 +173,17 @@ class ConfigurationSpace:
         return degrees
 
     def feasible_configs(self, num_instances: int) -> List[ParallelConfig]:
-        """Every memory-feasible configuration on *num_instances* instances."""
+        """Every memory-feasible configuration on *num_instances* instances.
+
+        The enumeration (hundreds of memory-model checks) is memoised per
+        fleet size; the cache is dropped whenever ``migration_buffer_bytes``
+        changes.  A fresh list is returned so callers may mutate it freely.
+        """
         if num_instances <= 0:
             return []
+        cached = self._feasible_cache.get(num_instances)
+        if cached is not None:
+            return list(cached)
         max_gpus = num_instances * self.gpus_per_instance
         configs: List[ParallelConfig] = []
         for tensor_degree in self.tensor_degrees:
@@ -150,7 +208,8 @@ class ConfigurationSpace:
                                 data_degree, pipeline_degree, tensor_degree, batch_size
                             )
                         )
-        return configs
+        self._feasible_cache[num_instances] = configs
+        return list(configs)
 
     def max_gpus(self, num_instances: int) -> int:
         """GPUs available on *num_instances* instances."""

@@ -23,14 +23,29 @@ decomposition ``l_req = l_sch + l_exe``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..llm.profiler import OfflineProfiler
+from ..perf import NULL_TIMERS, PhaseTimers
 from .config import ConfigurationSpace, ParallelConfig
 
 #: Two candidate latencies within this relative margin are treated as ties,
 #: letting the cheaper configuration win (Section 3.2).
 LATENCY_TIE_MARGIN = 0.05
+
+#: Decimal places the arrival rate is rounded to when keying the estimate
+#: memo.  Twelve decimals only merges rates that are numerically
+#: indistinguishable for any decision threshold, so memoisation cannot
+#: change which configuration wins.
+RATE_KEY_DECIMALS = 12
+
+#: Memo size caps.  Fluctuating arrival rates mint a fresh key almost every
+#: round, so on very long runs the memos would grow without bound; once a
+#: cap is hit the memo is flushed wholesale (an epoch flush keeps the hit
+#: path a single dict probe).  The caps comfortably hold many rounds of
+#: intra-round hits, which is where all the savings are.
+ESTIMATE_MEMO_MAX = 65536
+SWEEP_MEMO_MAX = 256
 
 
 @dataclass(frozen=True)
@@ -80,17 +95,62 @@ class ParallelizationController:
         profiler: OfflineProfiler,
         slo_latency: Optional[float] = None,
         latency_tie_margin: float = LATENCY_TIE_MARGIN,
+        memoize: bool = True,
+        timers: Optional[PhaseTimers] = None,
     ) -> None:
         self.config_space = config_space
         self.profiler = profiler
         self.slo_latency = slo_latency
         self.latency_tie_margin = latency_tie_margin
+        self.memoize = memoize
+        self.timers = timers if timers is not None else NULL_TIMERS
+        self._estimate_memo: Dict[Tuple[ParallelConfig, float], ConfigEstimate] = {}
+        self._estimates_memo: Dict[Tuple[int, float], List[ConfigEstimate]] = {}
+        self._profiler_generation = profiler.generation
+        self._space_generation = config_space.generation
 
     # ------------------------------------------------------------------
     # Cost estimation
     # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop memoised estimates (profile or cost-model inputs changed)."""
+        self._estimate_memo.clear()
+        self._estimates_memo.clear()
+        self._profiler_generation = self.profiler.generation
+        self._space_generation = self.config_space.generation
+
+    def _memo_is_stale(self) -> bool:
+        return (
+            self.profiler.generation != self._profiler_generation
+            or self.config_space.generation != self._space_generation
+        )
+
     def estimate(self, config: ParallelConfig, arrival_rate: float) -> ConfigEstimate:
-        """Estimate execution latency, request latency and throughput of *config*."""
+        """Estimate execution latency, request latency and throughput of *config*.
+
+        Results are memoised per ``(config, arrival rate)``; the memo is
+        dropped whenever the offline profiler is invalidated (its generation
+        counter moves) so stale profiles can never leak into decisions.  The
+        estimate itself is always computed from the raw arrival rate -- the
+        rounded rate is only the memo key.
+        """
+        if not self.memoize:
+            return self._estimate_uncached(config, arrival_rate)
+        if self._memo_is_stale():
+            self.invalidate()
+        key = (config, round(arrival_rate, RATE_KEY_DECIMALS))
+        hit = self._estimate_memo.get(key)
+        if hit is not None:
+            return hit
+        estimate = self._estimate_uncached(config, arrival_rate)
+        if len(self._estimate_memo) >= ESTIMATE_MEMO_MAX:
+            self._estimate_memo.clear()
+        self._estimate_memo[key] = estimate
+        return estimate
+
+    def _estimate_uncached(
+        self, config: ParallelConfig, arrival_rate: float
+    ) -> ConfigEstimate:
         entry = self.profiler.profile(
             config.data_degree,
             config.pipeline_degree,
@@ -153,43 +213,48 @@ class ParallelizationController:
             max_instances = available_instances
         max_instances = max(max_instances, available_instances)
 
-        reachable = self._estimates(max_instances, arrival_rate)
-        if not reachable:
-            return None
-
-        # Line 2-3: configurations that keep up with the arrival rate.
-        sustaining = [
-            est
-            for est in reachable
-            if est.throughput >= arrival_rate and est.meets_rate and self._meets_slo(est)
-        ]
-        if sustaining:
-            best = self._pick_lowest_latency(sustaining)
-            objective = "latency"
-        else:
-            # Line 5: no reachable configuration keeps up with the demand, so
-            # maximise throughput.  When the deployment may grow (on-demand
-            # mixing), the maximisation considers the larger fleet and the
-            # resulting positive delta triggers an allocation (lines 6-8);
-            # otherwise it is confined to the instances at hand.
-            candidates = [
-                est
-                for est in self._estimates(max_instances, arrival_rate, allow_infinite=True)
+        with self.timers.phase("propose"):
+            # One cost-model pass over the feasible space; both objective
+            # branches filter this shared list instead of re-estimating.
+            all_estimates = self._estimates(
+                max_instances, arrival_rate, allow_infinite=True
+            )
+            reachable = [
+                est for est in all_estimates if est.execution_latency != float("inf")
             ]
-            if not candidates:
-                candidates = reachable
-            best = self._pick_highest_throughput(candidates)
-            objective = "throughput"
+            if not reachable:
+                return None
 
-        delta = best.num_instances - available_instances
-        return OptimizerDecision(
-            config=best.config,
-            estimate=best,
-            instance_delta=delta,
-            objective=objective,
-            arrival_rate=arrival_rate,
-            available_instances=available_instances,
-        )
+            # Line 2-3: configurations that keep up with the arrival rate.
+            sustaining = [
+                est
+                for est in reachable
+                if est.throughput >= arrival_rate
+                and est.meets_rate
+                and self._meets_slo(est)
+            ]
+            if sustaining:
+                best = self._pick_lowest_latency(sustaining)
+                objective = "latency"
+            else:
+                # Line 5: no reachable configuration keeps up with the demand,
+                # so maximise throughput.  When the deployment may grow
+                # (on-demand mixing), the maximisation considers the larger
+                # fleet and the resulting positive delta triggers an
+                # allocation (lines 6-8); otherwise it is confined to the
+                # instances at hand.
+                best = self._pick_highest_throughput(all_estimates)
+                objective = "throughput"
+
+            delta = best.num_instances - available_instances
+            return OptimizerDecision(
+                config=best.config,
+                estimate=best,
+                instance_delta=delta,
+                objective=objective,
+                arrival_rate=arrival_rate,
+                available_instances=available_instances,
+            )
 
     # ------------------------------------------------------------------
     # Helpers
@@ -200,11 +265,39 @@ class ParallelizationController:
         arrival_rate: float,
         allow_infinite: bool = False,
     ) -> List[ConfigEstimate]:
-        configs = self.config_space.feasible_configs(num_instances)
-        estimates = [self.estimate(config, arrival_rate) for config in configs]
+        estimates = self._all_estimates(num_instances, arrival_rate)
         if allow_infinite:
             return estimates
         return [est for est in estimates if est.execution_latency != float("inf")]
+
+    def _all_estimates(
+        self, num_instances: int, arrival_rate: float
+    ) -> List[ConfigEstimate]:
+        """One estimate per feasible configuration, memoised per round key.
+
+        Workload checks, reconfiguration planning and fallback proposals of
+        the same round all ask for the same ``(fleet size, arrival rate)``
+        sweep; the list memo turns those repeats into a single dict hit.
+        """
+        if not self.memoize:
+            return [
+                self.estimate(config, arrival_rate)
+                for config in self.config_space.feasible_configs(num_instances)
+            ]
+        if self._memo_is_stale():
+            self.invalidate()
+        key = (num_instances, round(arrival_rate, RATE_KEY_DECIMALS))
+        hit = self._estimates_memo.get(key)
+        if hit is not None:
+            return list(hit)
+        estimates = [
+            self.estimate(config, arrival_rate)
+            for config in self.config_space.feasible_configs(num_instances)
+        ]
+        if len(self._estimates_memo) >= SWEEP_MEMO_MAX:
+            self._estimates_memo.clear()
+        self._estimates_memo[key] = estimates
+        return list(estimates)
 
     def _meets_slo(self, estimate: ConfigEstimate) -> bool:
         if self.slo_latency is None:

@@ -32,6 +32,7 @@ from ..engine.placement import (
 )
 from ..llm.spec import ModelSpec
 from ..matching.bipartite import BipartiteGraph
+from ..perf import NULL_TIMERS, PhaseTimers
 from .config import ParallelConfig
 
 
@@ -98,12 +99,20 @@ class DeviceMapper:
         use_optimal_matching: bool = True,
         hierarchical: bool = True,
         zone_of: Optional[Callable[[str], str]] = None,
+        cache_weights: bool = True,
+        timers: Optional[PhaseTimers] = None,
     ) -> None:
         self.model = model
         self.gpus_per_instance = gpus_per_instance
         self.use_optimal_matching = use_optimal_matching
         self.hierarchical = hierarchical
         self.zone_of = zone_of
+        self.cache_weights = cache_weights
+        self.timers = timers if timers is not None else NULL_TIMERS
+        # Per-round reuse-weight cache, valid only while one map_devices call
+        # runs (config, inheritance and context state are fixed inside it).
+        self._round_weights: Optional[Dict[Tuple[DeviceId, TopologyPosition], float]] = None
+        self._round_stateless: Optional[Dict[DeviceId, bool]] = None
 
     # ------------------------------------------------------------------
     # Edge weights
@@ -151,6 +160,44 @@ class DeviceMapper:
             )
         return weight
 
+    def _weight(
+        self,
+        meta_context: MetaContextManager,
+        device_id: DeviceId,
+        position: TopologyPosition,
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]],
+    ) -> float:
+        """Reuse weight via the per-round cache (falls through when absent)."""
+        cache = self._round_weights
+        if cache is None:
+            return self.reuse_weight(
+                meta_context, device_id, position, new_config, pipeline_inheritance
+            )
+        if self._is_stateless(meta_context, device_id):
+            return 0.0
+        key = (device_id, position)
+        weight = cache.get(key)
+        if weight is None:
+            weight = self.reuse_weight(
+                meta_context, device_id, position, new_config, pipeline_inheritance
+            )
+            cache[key] = weight
+        return weight
+
+    def _is_stateless(self, meta_context: MetaContextManager, device_id: DeviceId) -> bool:
+        """True when the device holds no context at all (weight provably 0)."""
+        known = self._round_stateless
+        if known is None:
+            daemon = meta_context.daemon(device_id)
+            return daemon.model_context is None and daemon.cache_context is None
+        if device_id not in known:
+            daemon = meta_context.daemon(device_id)
+            known[device_id] = (
+                daemon.model_context is None and daemon.cache_context is None
+            )
+        return known[device_id]
+
     def build_graph(
         self,
         meta_context: MetaContextManager,
@@ -169,7 +216,7 @@ class DeviceMapper:
             graph.add_right(position)
         for device_id in devices:
             for position in positions:
-                weight = self.reuse_weight(
+                weight = self._weight(
                     meta_context, device_id, position, new_config, pipeline_inheritance
                 )
                 if weight > 0:
@@ -202,6 +249,36 @@ class DeviceMapper:
                 f"configuration {new_config} needs {len(positions)} GPUs "
                 f"but only {len(devices)} are available"
             )
+        with self.timers.phase("map"):
+            if self.cache_weights:
+                # The round cache lives exactly as long as this call: the
+                # config, inheritance map and context state are all fixed
+                # here, and dropping it afterwards guarantees nothing leaks
+                # into the next adaptation round.
+                self._round_weights = {}
+                self._round_stateless = {}
+            try:
+                return self._map_devices_inner(
+                    meta_context,
+                    devices,
+                    positions,
+                    new_config,
+                    pipeline_inheritance,
+                    cached_tokens_per_pipeline,
+                )
+            finally:
+                self._round_weights = None
+                self._round_stateless = None
+
+    def _map_devices_inner(
+        self,
+        meta_context: MetaContextManager,
+        devices: Sequence[DeviceId],
+        positions: Sequence[TopologyPosition],
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]],
+        cached_tokens_per_pipeline: Optional[Dict[int, Tuple[int, int]]],
+    ) -> DeviceMapping:
         flat_placement = self._flat_matching(
             meta_context, devices, positions, new_config, pipeline_inheritance
         )
@@ -242,7 +319,7 @@ class DeviceMapper:
     ) -> float:
         """Total reusable bytes of a concrete placement."""
         return sum(
-            self.reuse_weight(meta_context, device_id, position, new_config, pipeline_inheritance)
+            self._weight(meta_context, device_id, position, new_config, pipeline_inheritance)
             for device_id, position in placement.items()
         )
 
@@ -301,14 +378,8 @@ class DeviceMapper:
         for instance_id in instance_ids:
             instance_devices = per_instance[instance_id]
             for group_index, group in enumerate(groups):
-                inner = self._match_within(
+                inner, weight = self._match_within(
                     meta_context, instance_devices, group, new_config, pipeline_inheritance
-                )
-                weight = sum(
-                    self.reuse_weight(
-                        meta_context, device_id, position, new_config, pipeline_inheritance
-                    )
-                    for device_id, position in inner.items()
                 )
                 best_inner[(instance_id, group_index)] = inner
                 if weight > 0:
@@ -337,28 +408,52 @@ class DeviceMapper:
         group: Sequence[TopologyPosition],
         new_config: ParallelConfig,
         pipeline_inheritance: Optional[Dict[int, int]],
-    ) -> Dict[DeviceId, TopologyPosition]:
+    ) -> Tuple[Dict[DeviceId, TopologyPosition], float]:
+        """Match one instance's GPUs onto one position group.
+
+        Returns the matching together with its total reuse weight (the sum of
+        the matched edges, which the caller would otherwise re-derive).
+        """
+        weights: Dict[Tuple[DeviceId, TopologyPosition], float] = {}
+        for device_id in instance_devices:
+            if self.cache_weights and self._is_stateless(meta_context, device_id):
+                continue
+            for position in group:
+                weight = self._weight(
+                    meta_context, device_id, position, new_config, pipeline_inheritance
+                )
+                if weight > 0:
+                    weights[(device_id, position)] = weight
+        if not weights:
+            # All weights are provably zero (e.g. a freshly launched,
+            # stateless instance).  Kuhn-Munkres on an all-zero matrix yields
+            # the identity pairing in input order, which the positional zip
+            # reproduces exactly -- so the O(n^3) solve can be skipped.
+            return (
+                {
+                    device_id: position
+                    for device_id, position in zip(instance_devices, group)
+                },
+                0.0,
+            )
         graph: BipartiteGraph = BipartiteGraph()
         for device_id in instance_devices:
             graph.add_left(device_id)
         for position in group:
             graph.add_right(position)
-        for device_id in instance_devices:
-            for position in group:
-                weight = self.reuse_weight(
-                    meta_context, device_id, position, new_config, pipeline_inheritance
-                )
-                if weight > 0:
-                    graph.set_weight(device_id, position, weight)
+        for (device_id, position), weight in weights.items():
+            graph.set_weight(device_id, position, weight)
         matching = graph.maximum_weight_matching()
         result = dict(matching)
+        matched_weight = graph.matching_weight(matching)
         # Deterministically fill any unmatched positions of the group with the
-        # instance's remaining GPUs.
+        # instance's remaining GPUs (zero-weight pairs, so the matched weight
+        # is unchanged).
         free_devices = [d for d in instance_devices if d not in result]
         free_positions = [p for p in group if p not in result.values()]
         for device_id, position in zip(free_devices, free_positions):
             result[device_id] = position
-        return result
+        return result, matched_weight
 
     def _fill_unassigned(
         self,

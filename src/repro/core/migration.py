@@ -29,6 +29,7 @@ from ..engine.context import DeviceId, MetaContextManager
 from ..engine.placement import TopologyPosition, shard_interval, stage_layer_range
 from ..llm.memory import DEFAULT_MIGRATION_BUFFER_BYTES
 from ..llm.spec import ModelSpec
+from ..perf import NULL_TIMERS, PhaseTimers
 from ..sim.network import NetworkModel, Transfer
 from .config import ParallelConfig
 from .device_mapper import DeviceMapping
@@ -92,6 +93,7 @@ class MigrationPlanner:
         progressive: bool = True,
         storage_bandwidth: float = DEFAULT_STORAGE_BANDWIDTH,
         engine_restart_time: float = 10.0,
+        timers: Optional[PhaseTimers] = None,
     ) -> None:
         self.model = model
         self.network = network or NetworkModel()
@@ -100,6 +102,7 @@ class MigrationPlanner:
         self.progressive = progressive
         self.storage_bandwidth = storage_bandwidth
         self.engine_restart_time = engine_restart_time
+        self.timers = timers if timers is not None else NULL_TIMERS
 
     # ------------------------------------------------------------------
     # Public API
@@ -122,25 +125,26 @@ class MigrationPlanner:
             ``new data index -> (old data index, batch_size, cached_tokens)``
             for every new pipeline that resumes an interrupted batch.
         """
-        cache_requirements = cache_requirements or {}
-        config = mapping.config
-        layer_steps = self._plan_layer_steps(meta_context, mapping)
-        cache_step = self._plan_cache_step(meta_context, mapping, cache_requirements)
+        with self.timers.phase("plan"):
+            cache_requirements = cache_requirements or {}
+            config = mapping.config
+            layer_steps = self._plan_layer_steps(meta_context, mapping)
+            cache_step = self._plan_cache_step(meta_context, mapping, cache_requirements)
 
-        layer_order = self._order_layers(layer_steps, mapping)
-        ordered_steps: List[MigrationStep] = []
-        if cache_step.transfers or cache_step.storage_bytes:
-            ordered_steps.append(cache_step)
-        stage_remaining = self._layers_per_stage(config)
-        for layer_index in layer_order:
-            step = layer_steps[layer_index]
-            stage = self._stage_of_layer(layer_index, config)
-            stage_remaining[stage] -= 1
-            if stage_remaining[stage] == 0:
-                step.stages_ready.append(stage)
-            ordered_steps.append(step)
+            layer_order = self._order_layers(layer_steps, mapping)
+            ordered_steps: List[MigrationStep] = []
+            if cache_step.transfers or cache_step.storage_bytes:
+                ordered_steps.append(cache_step)
+            stage_remaining = self._layers_per_stage(config)
+            for layer_index in layer_order:
+                step = layer_steps[layer_index]
+                stage = self._stage_of_layer(layer_index, config)
+                stage_remaining[stage] -= 1
+                if stage_remaining[stage] == 0:
+                    step.stages_ready.append(stage)
+                ordered_steps.append(step)
 
-        return self._finalize(ordered_steps, layer_order, config)
+            return self._finalize(ordered_steps, layer_order, config)
 
     def estimate_restart_plan(
         self, config: ParallelConfig, gpus_per_instance: int = 4

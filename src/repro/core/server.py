@@ -28,6 +28,7 @@ from ..llm.costmodel import DEFAULT_INPUT_LENGTH, DEFAULT_OUTPUT_LENGTH, Latency
 from ..llm.memory import DEFAULT_MIGRATION_BUFFER_BYTES, MemoryModel
 from ..llm.profiler import OfflineProfiler
 from ..llm.spec import ModelSpec
+from ..perf import PhaseTimers
 from ..sim.engine import Simulator
 from ..sim.events import Event, EventType
 from ..sim.network import NetworkModel
@@ -123,6 +124,9 @@ class ServingSystemBase:
         self.meta_context = MetaContextManager(model)
         self.request_queue = RequestQueue(max_batch_size=8)
         self.stats = ServingStats(system_name=self.name)
+        #: Wall-clock phase timers shared by the whole control stack
+        #: (propose / map / plan / simulate); read by ``benchmarks/perf``.
+        self.perf = PhaseTimers()
 
         self.profiler = OfflineProfiler(
             self.latency_model,
@@ -136,7 +140,10 @@ class ServingSystemBase:
             gpus_per_instance=self.gpus_per_instance,
         )
         self.controller = ParallelizationController(
-            self.config_space, self.profiler, slo_latency=self.options.slo_latency
+            self.config_space,
+            self.profiler,
+            slo_latency=self.options.slo_latency,
+            timers=self.perf,
         )
         if self.options.autoscaler is not None:
             self.autoscaler: Optional[Autoscaler] = self.options.autoscaler
@@ -209,7 +216,8 @@ class ServingSystemBase:
         """Initialise (if needed), run the simulation and return the statistics."""
         if self.current_config is None and not self.pipelines and self.simulator.now == 0.0:
             self.initialize()
-        self.simulator.run(until=until)
+        with self.perf.phase("simulate"):
+            self.simulator.run(until=until)
         return self.stats
 
     # ------------------------------------------------------------------
@@ -694,6 +702,7 @@ class SpotServeSystem(ServingSystemBase):
             use_optimal_matching=self.options.optimal_device_mapping,
             hierarchical=self.options.hierarchical_mapping,
             zone_of=self.provider.zone_of,
+            timers=self.perf,
         )
         self.migration_planner = MigrationPlanner(
             self.model,
@@ -701,6 +710,7 @@ class SpotServeSystem(ServingSystemBase):
             max_buffer_bytes=self.options.max_buffer_bytes,
             memory_optimized=self.options.memory_optimized_migration,
             progressive=self.options.progressive_migration,
+            timers=self.perf,
         )
         self.interruption_arranger = InterruptionArranger(self.latency_model)
         self._downscale_votes = 0

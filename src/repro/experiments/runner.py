@@ -45,6 +45,9 @@ class ExperimentResult:
     on_demand_cost: float
     tokens_generated: int
     cost_by_zone: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock per-phase breakdown of the control stack
+    #: (``{phase: {"seconds": ..., "calls": ...}}``; see ``repro.perf``).
+    perf: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def completion_ratio(self) -> float:
@@ -175,6 +178,7 @@ def run_serving_experiment(
         on_demand_cost=tracker.total_cost(now, Market.ON_DEMAND),
         tokens_generated=stats.tokens_generated,
         cost_by_zone=tracker.cost_by_zone(now),
+        perf=system.perf.summary(),
     )
 
 

@@ -27,6 +27,7 @@ relative behaviour comes from the analytic structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 from ..sim.network import NetworkSpec
@@ -128,6 +129,16 @@ class LatencyModel:
         self.network = network or NetworkSpec()
         self.params = params or CostModelParams()
         self._calibration = 1.0
+        # The model, GPU, network and params are all immutable after
+        # construction, so the public entry points are pure functions of
+        # their arguments.  Each instance carries its own unbounded memo
+        # (the argument space is the small finite configuration space); the
+        # class-level methods stay uncached for tests and subclasses.
+        self._uncached_entry_points = {
+            name: getattr(self, name) for name in self._CACHED_ENTRY_POINTS
+        }
+        for name, method in self._uncached_entry_points.items():
+            setattr(self, name, lru_cache(maxsize=None)(method))
         if calibrate and self.model.name in TABLE1_REFERENCE:
             (p_ref, m_ref), target = TABLE1_REFERENCE[self.model.name]
             raw = self._uncalibrated_l_exe(
@@ -140,6 +151,10 @@ class LatencyModel:
             if raw > 0:
                 self._calibration = target / raw
 
+    #: Pure entry points wrapped with a per-instance ``lru_cache`` in
+    #: ``__init__`` (``throughput`` benefits transitively via ``l_exe``).
+    _CACHED_ENTRY_POINTS = ("decode_iteration_time", "prefill_time", "l_exe")
+
     # ------------------------------------------------------------------
     # Calibration
     # ------------------------------------------------------------------
@@ -147,6 +162,21 @@ class LatencyModel:
     def calibration_factor(self) -> float:
         """Multiplier applied to raw analytic latencies (1.0 when uncalibrated)."""
         return self._calibration
+
+    def disable_caches(self) -> None:
+        """Restore the uncached entry points (cache-correctness tests only)."""
+        for name, method in self._uncached_entry_points.items():
+            setattr(self, name, method)
+
+    def cache_info(self) -> Dict[str, Tuple[int, int]]:
+        """``{entry point: (hits, misses)}`` for the per-instance caches."""
+        info: Dict[str, Tuple[int, int]] = {}
+        for name in self._CACHED_ENTRY_POINTS:
+            cached = getattr(self, name)
+            if hasattr(cached, "cache_info"):
+                stats = cached.cache_info()
+                info[name] = (stats.hits, stats.misses)
+        return info
 
     # ------------------------------------------------------------------
     # Building blocks

@@ -66,6 +66,17 @@ class OfflineProfiler:
         self.output_length = output_length
         self.migration_buffer_bytes = migration_buffer_bytes
         self._cache: Dict[ConfigKey, ProfileEntry] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped whenever cached profiles are invalidated.
+
+        Downstream memos (the parallelization controller's estimate cache)
+        key their validity on this counter, so a ``clear()`` -- e.g. after
+        changing sequence lengths -- transparently invalidates them too.
+        """
+        return self._generation
 
     def profile(
         self,
@@ -151,3 +162,4 @@ class OfflineProfiler:
     def clear(self) -> None:
         """Drop the cache (e.g. after changing sequence lengths)."""
         self._cache.clear()
+        self._generation += 1

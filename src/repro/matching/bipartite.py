@@ -29,18 +29,28 @@ class BipartiteGraph(Generic[LeftNode, RightNode]):
     left_nodes: List[LeftNode] = field(default_factory=list)
     right_nodes: List[RightNode] = field(default_factory=list)
     _weights: Dict[Tuple[LeftNode, RightNode], float] = field(default_factory=dict)
+    # Set mirrors of the node lists so membership checks are O(1) while the
+    # lists keep the deterministic insertion order the matchers rely on.
+    _left_set: set = field(default_factory=set)
+    _right_set: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._left_set = set(self.left_nodes)
+        self._right_set = set(self.right_nodes)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add_left(self, node: LeftNode) -> None:
         """Register a device node."""
-        if node not in self.left_nodes:
+        if node not in self._left_set:
+            self._left_set.add(node)
             self.left_nodes.append(node)
 
     def add_right(self, node: RightNode) -> None:
         """Register a topology-position node."""
-        if node not in self.right_nodes:
+        if node not in self._right_set:
+            self._right_set.add(node)
             self.right_nodes.append(node)
 
     def set_weight(self, left: LeftNode, right: RightNode, weight: float) -> None:
@@ -61,9 +71,13 @@ class BipartiteGraph(Generic[LeftNode, RightNode]):
     def weight_matrix(self) -> np.ndarray:
         """Dense weight matrix (rows = left/devices, columns = right/positions)."""
         matrix = np.zeros((len(self.left_nodes), len(self.right_nodes)))
-        for row, left in enumerate(self.left_nodes):
-            for col, right in enumerate(self.right_nodes):
-                matrix[row, col] = self.weight(left, right)
+        if not self._weights:
+            return matrix
+        # Fill from the (sparse) edge dict instead of probing every cell.
+        row_of = {node: row for row, node in enumerate(self.left_nodes)}
+        col_of = {node: col for col, node in enumerate(self.right_nodes)}
+        for (left, right), weight in self._weights.items():
+            matrix[row_of[left], col_of[right]] = weight
         return matrix
 
     def maximum_weight_matching(self) -> Dict[LeftNode, RightNode]:

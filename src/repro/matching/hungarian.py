@@ -23,14 +23,80 @@ import numpy as np
 
 _INF = float("inf")
 
+#: Below this size the scalar solver beats the vectorized one (numpy call
+#: overhead exceeds the loop cost on tiny matrices, and the device mapper's
+#: inner intra-instance matchings are typically 4x4).  Both solvers perform
+#: the identical arithmetic in the identical order, so the choice of path
+#: never changes an assignment (pinned by tests/test_matching_bruteforce.py).
+_SCALAR_THRESHOLD = 8
+
+
+def _solve_square_scalar(cost: np.ndarray) -> List[int]:
+    """Scalar-loop variant of :func:`_solve_square` for tiny matrices."""
+    n = cost.shape[0]
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    match_col = [0] * (n + 1)
+    way = [0] * (n + 1)
+    padded = [[0.0] * (n + 1)] + [
+        [0.0] + [float(cost[i, j]) for j in range(n)] for i in range(n)
+    ]
+
+    for row in range(1, n + 1):
+        match_col[0] = row
+        j0 = 0
+        minv = [_INF] * (n + 1)
+        used = [False] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = match_col[j0]
+            row_i0 = padded[i0]
+            u_i0 = u[i0]
+            delta = _INF
+            j1 = -1
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = row_i0[j] - u_i0 - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[match_col[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match_col[j0] == 0:
+                break
+        while True:
+            j1 = way[j0]
+            match_col[j0] = match_col[j1]
+            j0 = j1
+            if j0 == 0:
+                break
+
+    assignment = [0] * n
+    for j in range(1, n + 1):
+        if match_col[j] != 0:
+            assignment[match_col[j] - 1] = j - 1
+    return assignment
+
 
 def _solve_square(cost: np.ndarray) -> List[int]:
     """Solve the square assignment problem, returning column of each row.
 
     Implementation of the Jonker-Volgenant style shortest augmenting path
-    formulation of the Hungarian method with potentials, O(n^3).
+    formulation of the Hungarian method with potentials, O(n^3).  The inner
+    loops are vectorized with numpy; tiny matrices take the scalar path.
     """
     n = cost.shape[0]
+    if n <= _SCALAR_THRESHOLD:
+        return _solve_square_scalar(cost)
     # Potentials for rows (u) and columns (v); way[j] remembers the previous
     # column on the augmenting path to column j.
     u = np.zeros(n + 1)
@@ -50,24 +116,29 @@ def _solve_square(cost: np.ndarray) -> List[int]:
         while True:
             used[j0] = True
             i0 = match_col[j0]
-            delta = _INF
-            j1 = -1
-            for j in range(1, n + 1):
-                if used[j]:
-                    continue
-                cur = padded[i0, j] - u[i0] - v[j]
-                if cur < minv[j]:
-                    minv[j] = cur
-                    way[j] = j0
-                if minv[j] < delta:
-                    delta = minv[j]
-                    j1 = j
-            for j in range(n + 1):
-                if used[j]:
-                    u[match_col[j]] += delta
-                    v[j] -= delta
-                else:
-                    minv[j] -= delta
+            # Relax every free column against the newly used column j0.  The
+            # element-wise arithmetic and the strict ``<`` comparisons mirror
+            # the scalar loop exactly, so potentials, reduced costs and the
+            # final assignment are bit-for-bit identical to the original
+            # Python implementation.
+            free = ~used
+            free[0] = False
+            cur = padded[i0] - u[i0] - v
+            improved = free & (cur < minv)
+            minv[improved] = cur[improved]
+            way[improved] = j0
+            # Among free columns pick the smallest reduced cost; argmin
+            # returns the first (lowest-index) minimiser, matching the
+            # strict-inequality running minimum of the scalar loop.
+            candidates = np.where(free, minv, _INF)
+            j1 = int(np.argmin(candidates[1:])) + 1
+            delta = candidates[j1]
+            # match_col is injective on the used columns (each matched column
+            # holds a distinct row and column 0 holds the yet-unmatched
+            # current row), so the fancy-indexed += touches each row once.
+            u[match_col[used]] += delta
+            v[used] -= delta
+            minv[free] -= delta
             j0 = j1
             if match_col[j0] == 0:
                 break

@@ -1,0 +1,5 @@
+"""Wall-clock performance instrumentation for the adaptation control stack."""
+
+from .timers import NULL_TIMERS, PhaseTimers
+
+__all__ = ["NULL_TIMERS", "PhaseTimers"]

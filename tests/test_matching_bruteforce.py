@@ -13,11 +13,72 @@ import numpy as np
 import pytest
 
 from repro.matching.hungarian import (
+    _SCALAR_THRESHOLD,
+    _solve_square,
     assignment_weight,
     greedy_assignment,
     maximum_weight_assignment,
     minimum_cost_assignment,
 )
+
+
+def reference_solve_square(cost):
+    """The original scalar-loop Jonker-Volgenant solver, kept verbatim.
+
+    The production solver routes small matrices through a scalar fast path
+    and larger ones through numpy-vectorized inner loops; both must
+    reproduce this reference *assignment* (not merely its cost), pinning
+    the tie-breaking order of the vectorized argmin.
+    """
+    cost = np.asarray(cost, dtype=float)
+    n = cost.shape[0]
+    INF = float("inf")
+    u = np.zeros(n + 1)
+    v = np.zeros(n + 1)
+    match_col = np.full(n + 1, 0, dtype=int)
+    way = np.zeros(n + 1, dtype=int)
+    padded = np.zeros((n + 1, n + 1))
+    padded[1:, 1:] = cost
+    for row in range(1, n + 1):
+        match_col[0] = row
+        j0 = 0
+        minv = np.full(n + 1, INF)
+        used = np.zeros(n + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = match_col[j0]
+            delta = INF
+            j1 = -1
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = padded[i0, j] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[match_col[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match_col[j0] == 0:
+                break
+        while True:
+            j1 = way[j0]
+            match_col[j0] = match_col[j1]
+            j0 = j1
+            if j0 == 0:
+                break
+    assignment = [0] * n
+    for j in range(1, n + 1):
+        if match_col[j] != 0:
+            assignment[match_col[j] - 1] = j - 1
+    return assignment
 
 
 def brute_force_min_cost(cost):
@@ -129,3 +190,83 @@ class TestRandomizedCrossCheck:
         optimal = assignment_weight(weights, maximum_weight_assignment(weights))
         greedy = assignment_weight(weights, greedy_assignment(weights))
         assert optimal >= greedy - 1e-9
+
+
+class TestVectorizedSolver:
+    """Pin the vectorized solver against the scalar reference implementation.
+
+    These matrices exercise the numpy fast path (sizes beyond the scalar
+    threshold), the scalar fast path, and the shapes the device mapper
+    produces at scale: rectangular fleets, all-zero (stateless) graphs and
+    tie-heavy duplicate weights.  Assignments -- not just costs -- must match
+    so the vectorized argmin tie-breaking is pinned exactly.
+    """
+
+    @pytest.mark.parametrize("seed", range(100, 120))
+    def test_assignments_identical_to_reference_across_threshold(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 2 * _SCALAR_THRESHOLD))
+        cost = rng.uniform(0.0, 10.0, size=(n, n))
+        assert _solve_square(cost.copy()) == reference_solve_square(cost)
+
+    @pytest.mark.parametrize("seed", range(120, 136))
+    def test_tie_heavy_assignments_identical_to_reference(self, seed):
+        # Integer costs from a tiny alphabet maximise duplicate weights; the
+        # exact optimum chosen depends entirely on tie-breaking order.
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 14))
+        cost = rng.integers(0, 2, size=(n, n)).astype(float)
+        assert _solve_square(cost.copy()) == reference_solve_square(cost)
+
+    @pytest.mark.parametrize("n", [1, 4, _SCALAR_THRESHOLD, _SCALAR_THRESHOLD + 1, 12])
+    def test_all_zero_square_yields_identity(self, n):
+        # The device mapper skips inner solves for stateless instances on the
+        # grounds that KM on an all-zero matrix is the identity pairing; this
+        # pins that equivalence on both solver paths.
+        assert _solve_square(np.zeros((n, n))) == list(range(n))
+
+    @pytest.mark.parametrize("shape", [(3, 7), (7, 3), (2, 12), (12, 2)])
+    def test_all_zero_rectangular_yields_identity_prefix(self, shape):
+        assignment = minimum_cost_assignment(np.zeros(shape))
+        expected = [(i, i) for i in range(min(shape))]
+        assert sorted(assignment) == expected
+
+    @pytest.mark.parametrize("seed", range(136, 148))
+    def test_large_square_matches_scipy(self, seed):
+        scipy_opt = pytest.importorskip("scipy.optimize")
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 16))
+        cost = rng.uniform(0.0, 10.0, size=(n, n))
+        assignment = minimum_cost_assignment(cost)
+        rows, cols = scipy_opt.linear_sum_assignment(cost)
+        assert sum(cost[r, c] for r, c in assignment) == pytest.approx(
+            cost[rows, cols].sum()
+        )
+
+    @pytest.mark.parametrize("seed", range(148, 160))
+    def test_large_rectangular_matches_scipy(self, seed):
+        scipy_opt = pytest.importorskip("scipy.optimize")
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(2, 14))
+        cols = int(rng.integers(2, 14))
+        cost = rng.uniform(0.0, 10.0, size=(rows, cols))
+        assignment = minimum_cost_assignment(cost)
+        assert len(assignment) == min(rows, cols)
+        srows, scols = scipy_opt.linear_sum_assignment(cost)
+        assert sum(cost[r, c] for r, c in assignment) == pytest.approx(
+            cost[srows, scols].sum()
+        )
+
+    @pytest.mark.parametrize("seed", range(160, 170))
+    def test_duplicate_weight_maximum_matching_is_optimal(self, seed):
+        scipy_opt = pytest.importorskip("scipy.optimize")
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(4, 12))
+        cols = int(rng.integers(4, 12))
+        # Few distinct values -> many optimal assignments.
+        weights = rng.choice([0.0, 1.0, 2.5], size=(rows, cols))
+        assignment = maximum_weight_assignment(weights)
+        srows, scols = scipy_opt.linear_sum_assignment(weights, maximize=True)
+        assert assignment_weight(weights, assignment) == pytest.approx(
+            weights[srows, scols].sum()
+        )
