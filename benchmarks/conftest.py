@@ -7,12 +7,19 @@ output capturing and can be diffed against EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Iterable, Sequence
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Worker processes each figure benchmark hands to ``run_comparison`` so a
+#: comparison's systems run on separate cores (results are identical to the
+#: serial sweep -- every worker regenerates the same seeded workload).
+#: Override with ``REPRO_BENCH_WORKERS`` (1 forces the serial path).
+FIGURE_WORKERS = max(1, int(os.environ.get("REPRO_BENCH_WORKERS", min(os.cpu_count() or 1, 4))))
 
 
 def write_result(name: str, lines: Iterable[str]) -> pathlib.Path:

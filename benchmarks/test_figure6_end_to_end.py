@@ -10,7 +10,7 @@ is the paper's headline metric (2.4x - 9.1x).
 
 import pytest
 
-from conftest import format_row, write_result
+from conftest import FIGURE_WORKERS, format_row, write_result
 from repro.experiments.metrics import REPORTED_PERCENTILES
 from repro.experiments.runner import run_comparison
 from repro.experiments.scenarios import (
@@ -33,6 +33,7 @@ def run_cell(model_name, trace_name, allow_on_demand):
         scenario.trace,
         scenario.arrival_process(),
         options_by_system=options,
+        workers=FIGURE_WORKERS,
     )
 
 

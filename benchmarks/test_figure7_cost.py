@@ -9,7 +9,7 @@ serving at comparable latency.
 
 import pytest
 
-from conftest import format_row, write_result
+from conftest import FIGURE_WORKERS, format_row, write_result
 from repro.baselines.ondemand import on_demand_trace
 from repro.cloud.instance import Market
 from repro.core.server import SpotServeSystem
@@ -34,6 +34,7 @@ def run_spot_cells():
                 scenario.trace,
                 scenario.arrival_process(),
                 options_by_system={name: scenario.options() for name in COMPARED_SYSTEMS},
+                workers=FIGURE_WORKERS,
             )
     return cells
 

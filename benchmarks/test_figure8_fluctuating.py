@@ -9,7 +9,7 @@ configurations SpotServe selects over time.
 
 import pytest
 
-from conftest import format_row, write_result
+from conftest import FIGURE_WORKERS, format_row, write_result
 from repro.experiments.metrics import REPORTED_PERCENTILES
 from repro.experiments.runner import run_comparison
 from repro.experiments.scenarios import COMPARED_SYSTEMS, fluctuating_workload_scenario
@@ -28,6 +28,7 @@ def run_fluctuating(trace_name):
         process,
         duration=scenario.duration,
         options_by_system=options,
+        workers=FIGURE_WORKERS,
     )
 
 

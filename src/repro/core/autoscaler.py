@@ -214,6 +214,7 @@ class CostAwarePolicy(AutoscalePolicy):
         self.headroom = headroom
         self.budget_per_hour = budget_per_hour
         self.max_probe_instances = max_probe_instances
+        self._sweep_cache: Dict[Tuple[int, int, int], Dict[int, float]] = {}
 
     def _budget_cap(self, signal: AutoscaleSignal) -> int:
         if self.budget_per_hour is None or not signal.zones:
@@ -228,20 +229,45 @@ class CostAwarePolicy(AutoscalePolicy):
             return self.max_probe_instances
         return max(int(self.budget_per_hour / cheapest), 1)
 
-    def desired_instances(self, signal: AutoscaleSignal) -> int:
-        demand = signal.arrival_rate * self.headroom
-        cap = min(self.max_probe_instances, self._budget_cap(signal))
-        # One sweep of the configuration space at the cap covers every
-        # smaller fleet too (a config needing n instances is reachable by
-        # every count >= n), so the smallest sustaining fleet falls out of a
-        # single enumeration instead of one optimizer run per candidate.
+    def _best_throughput_by_count(self, cap: int) -> Dict[int, float]:
+        """Best sustained throughput per fleet size, for every size <= *cap*.
+
+        One sweep of the configuration space at the cap covers every smaller
+        fleet too (a config needing n instances is reachable by every count
+        >= n), so the smallest sustaining fleet falls out of a single
+        enumeration instead of one optimizer run per candidate.  Throughput,
+        execution latency and instance count are all independent of the
+        arrival rate, so the sweep is cached per (cap, profiler generation,
+        config-space generation) -- the fluctuating rate that changes every
+        round cannot change this table, only *where* the demand threshold
+        lands in it.
+        """
+        # ``getattr`` keeps duck-typed stub controllers (tests) working: a
+        # controller without generation counters caches under a fixed epoch.
+        key = (
+            cap,
+            getattr(getattr(self.controller, "profiler", None), "generation", -1),
+            getattr(self.controller.config_space, "generation", -1),
+        )
+        cached = self._sweep_cache.get(key)
+        if cached is not None:
+            return cached
         best_by_count: Dict[int, float] = {}
         for config in self.controller.config_space.feasible_configs(cap):
-            estimate = self.controller.estimate(config, signal.arrival_rate)
+            estimate = self.controller.estimate(config, 0.0)
             if estimate.execution_latency == float("inf"):
                 continue
             n = estimate.num_instances
             best_by_count[n] = max(best_by_count.get(n, 0.0), estimate.throughput)
+        if len(self._sweep_cache) >= 8:
+            self._sweep_cache.clear()
+        self._sweep_cache[key] = best_by_count
+        return best_by_count
+
+    def desired_instances(self, signal: AutoscaleSignal) -> int:
+        demand = signal.arrival_rate * self.headroom
+        cap = min(self.max_probe_instances, self._budget_cap(signal))
+        best_by_count = self._best_throughput_by_count(cap)
         best_feasible: Optional[int] = None
         reachable_best = 0.0
         for count in range(1, cap + 1):

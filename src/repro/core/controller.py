@@ -106,6 +106,12 @@ class ParallelizationController:
         self.timers = timers if timers is not None else NULL_TIMERS
         self._estimate_memo: Dict[Tuple[ParallelConfig, float], ConfigEstimate] = {}
         self._estimates_memo: Dict[Tuple[int, float], List[ConfigEstimate]] = {}
+        #: Rate-independent slice of an estimate per config -- (execution
+        #: latency, throughput, num_instances).  A fluctuating arrival rate
+        #: mints a fresh (config, rate) memo key every round, but these
+        #: values only depend on the profile, so they never need recomputing
+        #: until the profiler or config space moves.
+        self._static_memo: Dict[ParallelConfig, Tuple[float, float, int]] = {}
         self._profiler_generation = profiler.generation
         self._space_generation = config_space.generation
 
@@ -116,6 +122,7 @@ class ParallelizationController:
         """Drop memoised estimates (profile or cost-model inputs changed)."""
         self._estimate_memo.clear()
         self._estimates_memo.clear()
+        self._static_memo.clear()
         self._profiler_generation = self.profiler.generation
         self._space_generation = self.config_space.generation
 
@@ -151,21 +158,29 @@ class ParallelizationController:
     def _estimate_uncached(
         self, config: ParallelConfig, arrival_rate: float
     ) -> ConfigEstimate:
-        entry = self.profiler.profile(
-            config.data_degree,
-            config.pipeline_degree,
-            config.tensor_degree,
-            config.batch_size,
-        )
-        throughput = entry.throughput
-        execution_latency = entry.latency
+        static = self._static_memo.get(config) if self.memoize else None
+        if static is None:
+            entry = self.profiler.profile(
+                config.data_degree,
+                config.pipeline_degree,
+                config.tensor_degree,
+                config.batch_size,
+            )
+            static = (
+                entry.latency,
+                entry.throughput,
+                config.num_instances(self.config_space.gpus_per_instance),
+            )
+            if self.memoize:
+                self._static_memo[config] = static
+        execution_latency, throughput, num_instances = static
         request_latency = self._request_latency(execution_latency, throughput, config, arrival_rate)
         return ConfigEstimate(
             config=config,
             execution_latency=execution_latency,
             request_latency=request_latency,
             throughput=throughput,
-            num_instances=config.num_instances(self.config_space.gpus_per_instance),
+            num_instances=num_instances,
         )
 
     def _request_latency(

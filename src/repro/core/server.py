@@ -13,9 +13,10 @@ identical workload, trace and inference engine.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..cloud.instance import Instance
 from ..cloud.manager import InstanceManager
@@ -32,6 +33,7 @@ from ..perf import PhaseTimers
 from ..sim.engine import Simulator
 from ..sim.events import Event, EventType
 from ..sim.network import NetworkModel
+from ..workload.arrival import ArrivalProcess
 from ..workload.request import Request
 from .autoscaler import Autoscaler, AutoscaleSignal, ZoneView, make_autoscaler
 from .config import ConfigurationSpace, ParallelConfig
@@ -84,6 +86,11 @@ class SpotServeOptions:
     #: Keyword arguments forwarded to the autoscaler factory
     #: (min_instances, max_instances, cooldown, policy parameters, ...).
     autoscale_params: Optional[Dict] = None
+    #: Keep completed Request objects in ``ServingStats`` (handy for tests
+    #: and ad-hoc inspection).  Heavy-traffic runs switch this off so memory
+    #: stops growing with run length; every derived metric and digest is
+    #: computed from streaming aggregates either way.
+    retain_completed_requests: bool = True
 
 
 class ServingSystemBase:
@@ -123,7 +130,10 @@ class ServingSystemBase:
         )
         self.meta_context = MetaContextManager(model)
         self.request_queue = RequestQueue(max_batch_size=8)
-        self.stats = ServingStats(system_name=self.name)
+        self.stats = ServingStats(
+            system_name=self.name,
+            retain_requests=self.options.retain_completed_requests,
+        )
         #: Wall-clock phase timers shared by the whole control stack
         #: (propose / map / plan / simulate); read by ``benchmarks/perf``.
         self.perf = PhaseTimers()
@@ -160,7 +170,16 @@ class ServingSystemBase:
         self.pipelines: List[InferencePipeline] = []
         self._completion_events: Dict[int, Event] = {}
         self._resume_batches: Deque[Batch] = deque()
-        self._arrival_times: Deque[float] = deque()
+        #: Arrival timestamps in event order (monotone non-decreasing);
+        #: ``_arrival_start`` is the live window's first index so the rate
+        #: estimator trims lazily instead of popping per call.
+        self._arrival_times: List[float] = []
+        self._arrival_start: int = 0
+        #: Streaming workload source (see :meth:`submit_arrival_process`).
+        self._arrival_iter: Optional[Iterator[float]] = None
+        self._arrival_token_sizes: Tuple[int, int] = (0, 0)
+        self._arrival_order_major: int = 0
+        self._submitted_requests: int = 0
         self._initialized_instances: set = set()
         self._migration_until: float = 0.0
         self._reconfig_pending: bool = False
@@ -186,13 +205,61 @@ class ServingSystemBase:
     # Public API
     # ------------------------------------------------------------------
     def submit_requests(self, requests: Sequence[Request]) -> None:
-        """Schedule arrival events for *requests*."""
+        """Schedule arrival events for *requests* (pre-materialised workload)."""
+        schedule = self.simulator.schedule_at
         for request in requests:
-            self.simulator.schedule_at(
-                request.arrival_time,
-                EventType.REQUEST_ARRIVAL,
-                payload={"request": request},
-            )
+            schedule(request.arrival_time, EventType.REQUEST_ARRIVAL, payload=request)
+        self._submitted_requests += len(requests)
+
+    def submit_arrival_process(self, process: ArrivalProcess, duration: float) -> None:
+        """Stream arrivals from *process* instead of pre-scheduling them all.
+
+        Only the *next* arrival is ever pending: each arrival event's
+        callback re-arms the source with the following timestamp from
+        :meth:`~repro.workload.arrival.ArrivalProcess.iter_times`, so the
+        event heap holds O(1) arrival entries instead of one per request and
+        no :class:`Request` exists before its arrival instant.  Arrival
+        times are generated by exactly the same seeded draws as
+        ``process.arrival_times(duration)``, and a tie-break order slot
+        reserved *now* makes every streamed arrival sort against same-time
+        events exactly as if the whole workload had been pre-scheduled
+        here -- so runs are byte-identical with the pre-scheduled path even
+        on exact timestamp ties (e.g. integer ``FixedArrivals`` colliding
+        with a workload check).
+        """
+        self._arrival_iter = process.iter_times(duration)
+        self._arrival_token_sizes = (process.input_tokens, process.output_tokens)
+        self._arrival_order_major = self.simulator.queue.reserve_order()
+        self._arm_next_arrival()
+
+    @property
+    def submitted_requests(self) -> int:
+        """Requests submitted so far (pre-scheduled and streamed)."""
+        return self._submitted_requests
+
+    def _arm_next_arrival(self, _event: Optional[Event] = None) -> None:
+        """Schedule the streaming source's next arrival (or finish)."""
+        iterator = self._arrival_iter
+        if iterator is None:
+            return
+        time = next(iterator, None)
+        if time is None:
+            self._arrival_iter = None
+            return
+        input_tokens, output_tokens = self._arrival_token_sizes
+        request = Request(
+            arrival_time=time,
+            input_tokens=input_tokens,
+            output_tokens=output_tokens,
+        )
+        self._submitted_requests += 1
+        self.simulator.schedule_at(
+            time,
+            EventType.REQUEST_ARRIVAL,
+            payload=request,
+            callback=self._arm_next_arrival,
+            order=(self._arrival_order_major, self._submitted_requests),
+        )
 
     def initialize(self) -> None:
         """Deploy the initial configuration on the time-zero fleet (pre-warmed)."""
@@ -245,7 +312,7 @@ class ServingSystemBase:
     # Event handlers (shared bookkeeping, then delegate to hooks)
     # ------------------------------------------------------------------
     def _on_request_arrival(self, event: Event) -> None:
-        request: Request = event.payload["request"]
+        request: Request = event.payload
         self._arrival_times.append(request.arrival_time)
         self.request_queue.enqueue(request)
         self._dispatch()
@@ -381,8 +448,7 @@ class ServingSystemBase:
         )
 
     def _on_batch_completion(self, event: Event) -> None:
-        pipeline: InferencePipeline = event.payload["pipeline"]
-        batch: Batch = event.payload["batch"]
+        pipeline, batch = event.payload  # type: InferencePipeline, Batch
         if pipeline.current_batch is not batch:
             return  # The batch was interrupted before completing.
         completed = pipeline.complete_batch(event.time)
@@ -415,12 +481,23 @@ class ServingSystemBase:
         short_window = max(4.0 * self.options.workload_check_interval, 120.0)
         long_window = 3.0 * short_window
         now = self.simulator.now
-        while self._arrival_times and self._arrival_times[0] < now - 2 * long_window:
-            self._arrival_times.popleft()
+        arrivals = self._arrival_times
+        total = len(arrivals)
+        # Arrivals are appended in event order, so the list is monotone and
+        # the window boundaries are a bisect away (the old deque did a full
+        # scan per call).  Entries older than the retention horizon are
+        # dropped lazily once they dominate the list, keeping memory bounded
+        # by the horizon's arrival count on arbitrarily long runs.
+        start = bisect_left(arrivals, now - 2 * long_window, self._arrival_start)
+        if start > 1024 and start * 2 > total:
+            del arrivals[:start]
+            total -= start
+            start = 0
+        self._arrival_start = start
 
         def rate_over(window: float) -> float:
             span = min(window, max(now, 1.0))
-            recent = sum(1 for t in self._arrival_times if t >= now - window)
+            recent = total - bisect_left(arrivals, now - window, start)
             observed = recent / span
             if now < window:
                 observed = max(observed, self.initial_arrival_rate)
@@ -552,7 +629,7 @@ class ServingSystemBase:
         event = self.simulator.schedule_at(
             finish_time,
             EventType.BATCH_COMPLETION,
-            payload={"pipeline": pipeline, "batch": batch},
+            payload=(pipeline, batch),
         )
         self._completion_events[id(pipeline)] = event
 

@@ -50,9 +50,20 @@ class AutoscaleRecord:
 
 @dataclass
 class ServingStats:
-    """Aggregated counters and logs for one serving run."""
+    """Aggregated counters and logs for one serving run.
+
+    Per-request metrics are accumulated *incrementally* at completion time
+    (count, latency sum/max, and an ``(arrival, latency)`` float log for the
+    timeline plots), so the derived metrics and :meth:`summary` never need
+    the :class:`~repro.workload.request.Request` objects themselves.  The
+    completed requests are still retained by default for tests and ad-hoc
+    inspection; heavy-traffic runs pass ``retain_requests=False`` so memory
+    stops growing with run length (two floats per request instead of a
+    whole object graph).
+    """
 
     system_name: str = ""
+    retain_requests: bool = True
     completed_requests: List[Request] = field(default_factory=list)
     reconfigurations: List[ReconfigurationRecord] = field(default_factory=list)
     autoscale_actions: List[AutoscaleRecord] = field(default_factory=list)
@@ -63,13 +74,29 @@ class ServingStats:
     interrupted_batches: int = 0
     rerouted_batches: int = 0
     config_timeline: List[Tuple[float, ParallelConfig]] = field(default_factory=list)
+    #: Streaming aggregates, filled by :meth:`record_completion`.
+    _completed_count: int = field(default=0, init=False, repr=False)
+    _latency_sum: float = field(default=0, init=False, repr=False)
+    _latency_max: float = field(default=0.0, init=False, repr=False)
+    #: ``(arrival_time, latency)`` per completed request, in completion order.
+    _completion_log: List[Tuple[float, float]] = field(
+        default_factory=list, init=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     # Recording helpers
     # ------------------------------------------------------------------
     def record_completion(self, request: Request) -> None:
         """Record a finished request."""
-        self.completed_requests.append(request)
+        self._completed_count += 1
+        latency = request.latency()
+        if latency is not None:
+            self._latency_sum = self._latency_sum + latency
+            if latency > self._latency_max:
+                self._latency_max = latency
+            self._completion_log.append((request.arrival_time, latency))
+        if self.retain_requests:
+            self.completed_requests.append(request)
 
     def record_config(self, time: float, config: ParallelConfig) -> None:
         """Record the configuration active from *time* onwards."""
@@ -89,26 +116,16 @@ class ServingStats:
     # ------------------------------------------------------------------
     def latencies(self) -> List[float]:
         """End-to-end latencies of completed requests, in completion order."""
-        return [
-            latency
-            for latency in (request.latency() for request in self.completed_requests)
-            if latency is not None
-        ]
+        return [latency for _, latency in self._completion_log]
 
     def request_timeline(self) -> List[Tuple[float, float]]:
         """``(arrival_time, latency)`` pairs for the per-request plots (Fig. 8g/h)."""
-        return sorted(
-            (request.arrival_time, latency)
-            for request, latency in (
-                (request, request.latency()) for request in self.completed_requests
-            )
-            if latency is not None
-        )
+        return sorted(self._completion_log)
 
     @property
     def completed_count(self) -> int:
         """Number of completed requests."""
-        return len(self.completed_requests)
+        return self._completed_count
 
     @property
     def total_stall_time(self) -> float:
@@ -123,9 +140,11 @@ class ServingStats:
 
         Contains only values that are exact functions of the seeded
         simulation (no wall-clock, no object identities), so two runs with
-        the same seed and trace must produce equal summaries.
+        the same seed and trace must produce equal summaries.  Every value
+        comes from the streaming aggregates: ``latency_sum`` accumulates in
+        completion order exactly like ``sum()`` over the old per-request
+        list, so digests stay byte-identical.
         """
-        latencies = self.latencies()
         return {
             "system": self.system_name,
             "completed": self.completed_count,
@@ -139,8 +158,8 @@ class ServingStats:
             "autoscale_action_count": len(self.autoscale_actions),
             "autoscale_net_delta": sum(r.delta for r in self.autoscale_actions),
             "total_stall_time": self.total_stall_time,
-            "latency_sum": sum(latencies),
-            "latency_max": max(latencies) if latencies else 0.0,
+            "latency_sum": self._latency_sum,
+            "latency_max": self._latency_max,
             "config_timeline": [
                 (time, str(config)) for time, config in self.config_timeline
             ],

@@ -9,8 +9,9 @@ and returns an :class:`ExperimentResult` the benchmarks and examples report.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from ..cloud.instance import G4DN_12XLARGE, InstanceType, Market
 from ..cloud.provider import CloudProvider
@@ -48,6 +49,9 @@ class ExperimentResult:
     #: Wall-clock per-phase breakdown of the control stack
     #: (``{phase: {"seconds": ..., "calls": ...}}``; see ``repro.perf``).
     perf: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Simulation events dispatched during the run (the perf harness divides
+    #: this by the simulate-phase seconds to report ``sim_events_per_sec``).
+    dispatched_events: int = 0
 
     @property
     def completion_ratio(self) -> float:
@@ -90,6 +94,7 @@ def run_serving_experiment(
     requests: Optional[List[Request]] = None,
     zones: Optional[Sequence[ZoneSpec]] = None,
     allow_spot_requests: bool = False,
+    stream_arrivals: bool = True,
 ) -> ExperimentResult:
     """Run one serving experiment end to end.
 
@@ -125,6 +130,13 @@ def run_serving_experiment(
     allow_spot_requests:
         Let the serving system (autoscaler) request extra spot instances
         beyond what the traces grant.
+    stream_arrivals:
+        Feed the workload through the streaming arrival source (O(1)
+        pending arrival events; the default) instead of pre-scheduling one
+        event per request.  The two paths are byte-identical -- the source
+        draws the same seeded timestamps in the same order -- so this only
+        changes memory/scheduling cost, never results.  Ignored when
+        *requests* is given.
     """
     model_spec = get_model(model) if isinstance(model, str) else model
     if trace is not None:
@@ -146,9 +158,23 @@ def run_serving_experiment(
         zones=zones,
         allow_spot_requests=allow_spot_requests,
     )
-    workload = requests if requests is not None else arrival_process.generate(run_duration)
+    workload: Optional[List[Request]]
+    if requests is not None:
+        workload = requests
+    elif stream_arrivals:
+        workload = None
+    else:
+        workload = arrival_process.generate(run_duration)
     if initial_arrival_rate is None:
-        initial_arrival_rate = max(len(workload) / max(run_duration, 1.0), 1e-3)
+        # The streaming path counts the seeded draws without materialising
+        # them, so the default rate matches the pre-materialised path bit
+        # for bit.
+        count = (
+            len(workload)
+            if workload is not None
+            else arrival_process.count_arrivals(run_duration)
+        )
+        initial_arrival_rate = max(count / max(run_duration, 1.0), 1e-3)
 
     system = system_cls(
         simulator,
@@ -157,7 +183,10 @@ def run_serving_experiment(
         options=options,
         initial_arrival_rate=initial_arrival_rate,
     )
-    system.submit_requests(workload)
+    if workload is not None:
+        system.submit_requests(workload)
+    else:
+        system.submit_arrival_process(arrival_process, run_duration)
     system.initialize()
     stats = system.run(until=run_duration + drain_time)
 
@@ -171,7 +200,7 @@ def run_serving_experiment(
         duration=run_duration,
         stats=stats,
         latency=latency,
-        submitted_requests=len(workload),
+        submitted_requests=system.submitted_requests,
         completed_requests=stats.completed_count,
         total_cost=tracker.total_cost(now),
         spot_cost=tracker.total_cost(now, Market.SPOT),
@@ -179,6 +208,29 @@ def run_serving_experiment(
         tokens_generated=stats.tokens_generated,
         cost_by_zone=tracker.cost_by_zone(now),
         perf=system.perf.summary(),
+        dispatched_events=simulator.dispatched_events,
+    )
+
+
+def _comparison_worker(
+    job: Tuple[Type[ServingSystemBase], ModelSpec, Optional[AvailabilityTrace], ArrivalProcess, float, Optional[SpotServeOptions], Dict],
+) -> ExperimentResult:
+    """Run one comparison cell in a worker process.
+
+    The workload is regenerated from the seeded arrival process inside the
+    worker (streaming), which draws exactly the timestamps the serial path
+    materialises -- so parallel and serial sweeps return identical results
+    without shipping request lists between processes.
+    """
+    system_cls, model_spec, trace, arrival_process, run_duration, options, kwargs = job
+    return run_serving_experiment(
+        system_cls,
+        model_spec,
+        trace,
+        arrival_process,
+        duration=run_duration,
+        options=options,
+        **kwargs,
     )
 
 
@@ -189,14 +241,23 @@ def run_comparison(
     arrival_process: ArrivalProcess,
     duration: Optional[float] = None,
     options_by_system: Optional[Dict[str, SpotServeOptions]] = None,
+    workers: Optional[int] = None,
     **kwargs,
 ) -> Dict[str, ExperimentResult]:
     """Run several systems against the *same* workload and trace.
 
-    The request list is generated once and deep-replayed for every system so
-    the comparison is workload-identical (the paper replays the same trace
-    segment for every system).  Multi-zone fleets pass ``trace=None`` plus a
-    ``zones=...`` keyword (forwarded to :func:`run_serving_experiment`).
+    Every system sees an identical workload: the request timestamps are the
+    same seeded draws whether the sweep materialises them once and replays
+    copies (serial path) or regenerates them inside worker processes
+    (parallel path), so the comparison is workload-identical (the paper
+    replays the same trace segment for every system).  Multi-zone fleets
+    pass ``trace=None`` plus a ``zones=...`` keyword (forwarded to
+    :func:`run_serving_experiment`).
+
+    ``workers`` > 1 runs the systems in a ``multiprocessing`` pool (one
+    process per system, capped at *workers*), which the figure benchmarks
+    use to sweep a whole comparison on all cores; results are identical to
+    the serial sweep.
     """
     model_spec = get_model(model) if isinstance(model, str) else model
     if trace is not None:
@@ -210,8 +271,26 @@ def run_comparison(
             if duration is not None
             else max(zone.trace.duration for zone in zones)
         )
-    template = arrival_process.generate(run_duration)
     options_by_system = options_by_system or {}
+
+    if workers is not None and workers > 1 and len(systems) > 1:
+        jobs = [
+            (
+                system_cls,
+                model_spec,
+                trace,
+                arrival_process,
+                run_duration,
+                options_by_system.get(name),
+                kwargs,
+            )
+            for name, system_cls in systems.items()
+        ]
+        with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
+            outcomes = pool.map(_comparison_worker, jobs)
+        return dict(zip(systems, outcomes))
+
+    template = arrival_process.generate(run_duration)
     results: Dict[str, ExperimentResult] = {}
     for name, system_cls in systems.items():
         requests = [

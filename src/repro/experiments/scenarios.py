@@ -122,6 +122,7 @@ class MultiZoneScenario:
     max_instances: int = 14
     cooldown: float = 60.0
     allow_on_demand: bool = True
+    retain_completed_requests: bool = True
 
     @property
     def initial_instances(self) -> int:
@@ -130,14 +131,21 @@ class MultiZoneScenario:
 
     def options(self) -> SpotServeOptions:
         """SpotServe options with the scenario's autoscaler enabled."""
+        params = {
+            "min_instances": self.min_instances,
+            "max_instances": self.max_instances,
+            "cooldown": self.cooldown,
+        }
+        if self.autoscale_policy == "cost-aware":
+            # The policy's probe cap must reach the scenario's fleet bound,
+            # or fleets past the default 32-instance probe would be
+            # unreachable (the heavy-traffic market allows 36).
+            params["max_probe_instances"] = max(self.max_instances, 32)
         return SpotServeOptions(
             allow_on_demand=self.allow_on_demand,
             autoscale_policy=self.autoscale_policy,
-            autoscale_params={
-                "min_instances": self.min_instances,
-                "max_instances": self.max_instances,
-                "cooldown": self.cooldown,
-            },
+            autoscale_params=params,
+            retain_completed_requests=self.retain_completed_requests,
         )
 
 
@@ -214,6 +222,99 @@ def multi_zone_fluctuating_scenario(
         duration=duration,
         seed=seed,
         autoscale_policy=autoscale_policy,
+    )
+    return scenario, rescaled.to_arrival_process(cv=6.0, seed=seed)
+
+
+def heavy_traffic_market(duration: float = 1800.0) -> Tuple[ZoneSpec, ...]:
+    """A scaled-up three-zone market for the heavy-traffic stress scenario.
+
+    Same price/volatility characters as :func:`three_zone_market` but with
+    several times the capacity, a larger pre-warmed fleet and preemption
+    waves spread across the run, so a 100k-request workload keeps the
+    adaptation machinery (autoscaler, controller, mapper) busy while the
+    event core carries the load.
+    """
+    zone_a = ZoneSpec(
+        name="us-east-1a",
+        trace=AvailabilityTrace(
+            name="1a-heavy",
+            initial_instances=8,
+            events=[
+                TraceEvent(0.15 * duration, TraceEventKind.PREEMPT, 3),
+                TraceEvent(0.30 * duration, TraceEventKind.ACQUIRE, 2),
+                TraceEvent(0.55 * duration, TraceEventKind.PREEMPT, 2),
+                TraceEvent(0.80 * duration, TraceEventKind.PREEMPT, 1),
+            ],
+            duration=duration,
+        ),
+        capacity=16,
+        spot_pricing=PriceSchedule(
+            base_price=1.5,
+            changes=((0.40 * duration, 3.2), (0.70 * duration, 1.6)),
+        ),
+    )
+    zone_b = ZoneSpec(
+        name="us-east-1b",
+        trace=AvailabilityTrace(
+            name="1b-heavy",
+            initial_instances=6,
+            events=[
+                TraceEvent(0.45 * duration, TraceEventKind.PREEMPT, 2),
+                TraceEvent(0.75 * duration, TraceEventKind.ACQUIRE, 1),
+            ],
+            duration=duration,
+        ),
+        capacity=12,
+        spot_pricing=PriceSchedule.flat(1.9),
+    )
+    zone_c = ZoneSpec(
+        name="us-west-2a",
+        trace=AvailabilityTrace(
+            name="2a-heavy",
+            initial_instances=4,
+            events=[],
+            duration=duration,
+        ),
+        capacity=8,
+        spot_pricing=PriceSchedule.flat(2.6),
+        on_demand_pricing=PriceSchedule.flat(4.4),
+    )
+    return (zone_a, zone_b, zone_c)
+
+
+def heavy_traffic_scenario(
+    model_name: str = "OPT-6.7B",
+    duration: float = 1800.0,
+    seed: int = 0,
+    target_requests: int = 100_000,
+    autoscale_policy: str = "cost-aware",
+) -> Tuple[MultiZoneScenario, TimeVaryingArrivals]:
+    """A >=100k-request multi-zone stress scenario for the simulator core.
+
+    The MAF-like fluctuating profile is rescaled so the *expected* request
+    count exceeds ``target_requests`` by a few percent (a CV=6 renewal
+    process realises the count within ~2%), which makes this the event-core
+    workload the perf harness tracks with ``sim_events_per_sec``: streaming
+    arrivals keep O(1) pending arrival events and the incremental stats keep
+    memory flat (``retain_completed_requests=False``) while the fleet rides
+    out preemption waves and a mid-run price spike.
+    """
+    if target_requests <= 0:
+        raise ValueError("target_requests must be positive")
+    profile = synthesize_maf_profile(duration=duration, seed=seed)
+    mean_rate = 1.06 * target_requests / duration
+    rescaled = profile.rescaled(mean_rate)
+    scenario = MultiZoneScenario(
+        model_name=model_name,
+        zones=heavy_traffic_market(duration),
+        duration=duration,
+        seed=seed,
+        autoscale_policy=autoscale_policy,
+        min_instances=4,
+        max_instances=36,
+        cooldown=60.0,
+        retain_completed_requests=False,
     )
     return scenario, rescaled.to_arrival_process(cv=6.0, seed=seed)
 

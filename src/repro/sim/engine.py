@@ -4,16 +4,24 @@ The :class:`Simulator` owns the clock and the event queue and repeatedly
 dispatches the earliest event, advancing the clock to its timestamp.  Serving
 systems register handlers per :class:`~repro.sim.events.EventType`; events can
 also carry their own callback.
+
+Dispatch is the simulator's hottest loop, so handler lists are resolved into
+per-type tuples once at registration time (not per event) and the run loop
+pops the next live event with a single heap walk
+(:meth:`~repro.sim.events.EventQueue.pop_next`) instead of a peek + pop pair.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .clock import SimulationClock
 from .events import Event, EventQueue, EventType
 
 EventHandler = Callable[[Event], None]
+
+#: Shared empty dispatch tuple for event types nobody registered for.
+_NO_HANDLERS: Tuple[EventHandler, ...] = ()
 
 
 class Simulator:
@@ -23,6 +31,8 @@ class Simulator:
         self.clock = SimulationClock(start_time)
         self.queue = EventQueue()
         self._handlers: Dict[EventType, List[EventHandler]] = {}
+        #: Per-type dispatch table: rebuilt on registration, read per event.
+        self._dispatch: Dict[EventType, Tuple[EventHandler, ...]] = {}
         self._dispatched = 0
 
     # ------------------------------------------------------------------
@@ -42,21 +52,32 @@ class Simulator:
         self,
         time: float,
         event_type: EventType = EventType.GENERIC,
-        payload: Optional[dict] = None,
+        payload: Optional[object] = None,
         callback: Optional[Callable[[Event], None]] = None,
+        order: Optional[Tuple[int, int]] = None,
     ) -> Event:
-        """Schedule an event at absolute simulation time *time*."""
-        if time < self.now - 1e-9:
+        """Schedule an event at absolute simulation time *time*.
+
+        ``order`` overrides the same-time tie-break (see
+        :meth:`~repro.sim.events.EventQueue.push`); streaming sources use it
+        to sort lazily generated events exactly where eager scheduling at
+        submit time would have placed them.
+        """
+        now = self.clock.now
+        if time < now - 1e-9:
             raise ValueError(
-                f"cannot schedule event in the past: now={self.now:.3f}, time={time:.3f}"
+                f"cannot schedule event in the past: now={now:.3f}, time={time:.3f}"
             )
-        return self.queue.schedule(max(time, self.now), event_type, payload, callback)
+        return self.queue.push(
+            Event(time if time > now else now, event_type, payload, callback),
+            order=order,
+        )
 
     def schedule_after(
         self,
         delay: float,
         event_type: EventType = EventType.GENERIC,
-        payload: Optional[dict] = None,
+        payload: Optional[object] = None,
         callback: Optional[Callable[[Event], None]] = None,
     ) -> Event:
         """Schedule an event *delay* seconds from now."""
@@ -69,22 +90,29 @@ class Simulator:
     # ------------------------------------------------------------------
     def on(self, event_type: EventType, handler: EventHandler) -> None:
         """Register *handler* to be invoked for every event of *event_type*."""
-        self._handlers.setdefault(event_type, []).append(handler)
+        handlers = self._handlers.setdefault(event_type, [])
+        handlers.append(handler)
+        self._dispatch[event_type] = tuple(handlers)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self) -> Optional[Event]:
-        """Dispatch the next event, or return ``None`` if the queue is empty."""
-        if not self.queue:
-            return None
-        event = self.queue.pop()
+    def _fire(self, event: Event) -> None:
+        """Advance the clock to *event* and invoke its callback + handlers."""
         self.clock.advance_to(event.time)
         self._dispatched += 1
-        if event.callback is not None:
-            event.callback(event)
-        for handler in self._handlers.get(event.event_type, []):
+        callback = event.callback
+        if callback is not None:
+            callback(event)
+        for handler in self._dispatch.get(event.event_type, _NO_HANDLERS):
             handler(event)
+
+    def step(self) -> Optional[Event]:
+        """Dispatch the next event, or return ``None`` if the queue is empty."""
+        event = self.queue.pop_next()
+        if event is None:
+            return None
+        self._fire(event)
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -105,15 +133,13 @@ class Simulator:
             The number of events dispatched by this call.
         """
         dispatched = 0
-        while self.queue:
-            next_time = self.queue.peek_time()
-            if next_time is None:
+        pop_next = self.queue.pop_next
+        fire = self._fire
+        while max_events is None or dispatched < max_events:
+            event = pop_next(until)
+            if event is None:
                 break
-            if until is not None and next_time > until:
-                break
-            if max_events is not None and dispatched >= max_events:
-                break
-            self.step()
+            fire(event)
             dispatched += 1
         if until is not None:
             self.clock.advance_to(max(until, self.clock.now))

@@ -9,15 +9,23 @@ scheduled on an :class:`EventQueue` and dispatched in timestamp order.
 Events carry an ``order`` tie-breaker so that events scheduled for the same
 instant are processed in the order they were scheduled, which keeps the
 simulation fully deterministic.
+
+The event core is the simulator's hot path: a heavy-traffic run dispatches
+hundreds of thousands of events, so :class:`Event` uses ``__slots__`` and the
+hot event types carry their payload as a bare object or tuple instead of a
+per-event dict (``REQUEST_ARRIVAL`` carries the request itself,
+``BATCH_COMPLETION`` a ``(pipeline, batch)`` tuple).  Cancelled events are
+dropped lazily, but the queue compacts its heap once cancelled entries
+outnumber live ones so cancel-heavy runs (repeated batch interruption) keep
+the heap bounded by the number of live events.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Optional
 
 
 class EventType(Enum):
@@ -35,7 +43,6 @@ class EventType(Enum):
     GENERIC = "generic"
 
 
-@dataclass(order=False)
 class Event:
     """A single simulation event.
 
@@ -46,33 +53,64 @@ class Event:
     event_type:
         One of :class:`EventType`.
     payload:
-        Arbitrary event-specific data (e.g. the request, the instance id).
+        Event-specific data.  Cold event types use a dict; the hot types
+        carry their object(s) directly (see the module docstring).
     callback:
         Optional callable invoked with the event when it is dispatched.
     """
 
-    time: float
-    event_type: EventType = EventType.GENERIC
-    payload: Dict[str, Any] = field(default_factory=dict)
-    callback: Optional[Callable[["Event"], None]] = None
-    cancelled: bool = False
+    __slots__ = ("time", "event_type", "payload", "callback", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        event_type: EventType = EventType.GENERIC,
+        payload: Any = None,
+        callback: Optional[Callable[["Event"], None]] = None,
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.event_type = event_type
+        self.payload = {} if payload is None else payload
+        self.callback = callback
+        self.cancelled = cancelled
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the queue will silently drop it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Event(time={self.time!r}, event_type={self.event_type!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
+
+
+#: Heap size below which compaction is never attempted (a rebuild of a tiny
+#: heap costs more than the lazy pops it saves).
+COMPACTION_MIN_HEAP = 64
 
 
 class EventQueue:
     """A priority queue of :class:`Event` objects ordered by time.
 
     Ties are broken by insertion order so repeated runs with the same inputs
-    produce identical traces.
+    produce identical traces.  ``len()`` counts *live* (non-cancelled)
+    events; cancelled entries are discarded lazily on pop/peek and in bulk by
+    :meth:`_compact` once they outnumber the live ones.
     """
 
     def __init__(self) -> None:
         self._heap: list = []
         self._counter = itertools.count()
         self._size = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
         return self._size
@@ -80,30 +118,70 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._size > 0
 
-    def push(self, event: Event) -> Event:
-        """Schedule *event* and return it (useful for later cancellation)."""
+    def push(self, event: Event, order: Optional[tuple] = None) -> Event:
+        """Schedule *event* and return it (useful for later cancellation).
+
+        ``order`` is an optional ``(major, minor)`` tie-break pair replacing
+        the default ``(next insertion counter, 0)``.  A streaming source uses
+        a *reserved* major (see :meth:`reserve_order`) plus a per-item minor
+        so lazily generated events sort exactly where eagerly scheduled ones
+        would have -- the heap key stays ``(time, major, minor)``.
+        """
         if event.time < 0:
             raise ValueError(f"cannot schedule event in negative time: {event.time}")
-        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        event._queue = self
+        if order is None:
+            entry = (event.time, next(self._counter), 0, event)
+        else:
+            entry = (event.time, order[0], order[1], event)
+        heapq.heappush(self._heap, entry)
         self._size += 1
         return event
+
+    def reserve_order(self) -> int:
+        """Claim the next insertion-order slot without scheduling anything.
+
+        Events later pushed with ``order=(slot, k)`` win ties against
+        everything scheduled after this call and lose them to everything
+        scheduled before it, exactly as if they had all been pushed here.
+        """
+        return next(self._counter)
 
     def schedule(
         self,
         time: float,
         event_type: EventType = EventType.GENERIC,
-        payload: Optional[Dict[str, Any]] = None,
+        payload: Any = None,
         callback: Optional[Callable[[Event], None]] = None,
     ) -> Event:
         """Convenience wrapper building an :class:`Event` and pushing it."""
-        event = Event(
-            time=time,
-            event_type=event_type,
-            payload=payload or {},
-            callback=callback,
-        )
-        return self.push(event)
+        return self.push(Event(time, event_type, payload, callback))
 
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """One scheduled event was cancelled; compact once they dominate."""
+        self._cancelled += 1
+        self._size -= 1
+        heap_size = len(self._heap)
+        if heap_size >= COMPACTION_MIN_HEAP and 2 * self._cancelled > heap_size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors.
+
+        Entries are ``(time, major, minor, event)`` tuples with unique
+        ``(major, minor)`` pairs, so the rebuilt heap pops in exactly the
+        same sequence as the lazy-discard path would have.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Removal
+    # ------------------------------------------------------------------
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
 
@@ -112,25 +190,55 @@ class EventQueue:
         IndexError
             If the queue is empty (after discarding cancelled events).
         """
-        while self._heap:
-            _, _, event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
             self._size -= 1
-            if not event.cancelled:
-                return event
+            event._queue = None
+            return event
         raise IndexError("pop from an empty EventQueue")
+
+    def pop_next(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the earliest live event, or ``None`` when empty / past *until*.
+
+        This merges :meth:`peek_time` and :meth:`pop` into one heap walk --
+        the simulator's inner loop calls it once per dispatched event.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            heapq.heappop(heap)
+            self._size -= 1
+            event._queue = None
+            return event
+        return None
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event, or ``None`` if empty."""
-        while self._heap:
-            time, _, event = self._heap[0]
+        heap = self._heap
+        while heap:
+            time, _, _, event = heap[0]
             if event.cancelled:
-                heapq.heappop(self._heap)
-                self._size -= 1
+                heapq.heappop(heap)
+                self._cancelled -= 1
                 continue
             return time
         return None
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._size = 0
+        self._cancelled = 0

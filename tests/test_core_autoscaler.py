@@ -385,3 +385,60 @@ class TestFactories:
         assert scaler.min_instances == 2
         assert scaler.max_instances == 12
         assert scaler.policy.headroom == 1.2
+
+
+class TestCostAwareSweepCache:
+    """The cached rate-independent sweep must not change any decision."""
+
+    @staticmethod
+    def uncached_desired(controller, policy, signal):
+        """The pre-cache implementation: re-sweep with the signal's rate."""
+        demand = signal.arrival_rate * policy.headroom
+        cap = min(policy.max_probe_instances, policy._budget_cap(signal))
+        best_by_count = {}
+        for config in controller.config_space.feasible_configs(cap):
+            estimate = controller.estimate(config, signal.arrival_rate)
+            if estimate.execution_latency == float("inf"):
+                continue
+            n = estimate.num_instances
+            best_by_count[n] = max(best_by_count.get(n, 0.0), estimate.throughput)
+        best_feasible = None
+        reachable_best = 0.0
+        for count in range(1, cap + 1):
+            if count in best_by_count and best_by_count[count] > reachable_best:
+                reachable_best = best_by_count[count]
+                best_feasible = count
+            if best_feasible is not None and reachable_best >= demand:
+                return count
+        return best_feasible if best_feasible is not None else max(signal.current_instances, 1)
+
+    def test_cached_decisions_match_uncached_across_rates(self, controller):
+        policy = CostAwarePolicy(controller)
+        for rate in (0.05, 0.21, 0.3501, 0.77, 1.4142, 2.9, 5.0, 11.0, 40.0):
+            signal = make_signal(arrival_rate=rate, current_instances=6)
+            assert policy.desired_instances(signal) == self.uncached_desired(
+                controller, policy, signal
+            ), f"divergence at rate {rate}"
+
+    def test_repeated_rounds_hit_the_cache(self, controller):
+        policy = CostAwarePolicy(controller)
+        policy.desired_instances(make_signal(arrival_rate=0.4))
+        assert len(policy._sweep_cache) == 1
+        policy.desired_instances(make_signal(arrival_rate=0.9))
+        policy.desired_instances(make_signal(arrival_rate=2.2))
+        assert len(policy._sweep_cache) == 1  # same cap + generations
+
+    def test_cache_invalidated_when_profiler_moves(self):
+        model = get_model("OPT-6.7B")
+        latency_model = LatencyModel(model, T4)
+        memory_model = MemoryModel(model, T4)
+        profiler = OfflineProfiler(latency_model, memory_model)
+        space = ConfigurationSpace(model, memory_model, gpus_per_instance=4)
+        fresh_controller = ParallelizationController(space, profiler)
+        policy = CostAwarePolicy(fresh_controller)
+        before = policy.desired_instances(make_signal(arrival_rate=0.6))
+        keys_before = set(policy._sweep_cache)
+        profiler.clear()  # bumps the generation counter
+        after = policy.desired_instances(make_signal(arrival_rate=0.6))
+        assert set(policy._sweep_cache) != keys_before  # fresh epoch key
+        assert before == after  # same profile content -> same decision

@@ -188,3 +188,76 @@ class TestOptions:
         assert stats.completed_count == len(quiet) + len(surge)
         workload_reconfigs = [r for r in stats.reconfigurations if r.reason == "workload"]
         assert workload_reconfigs
+
+
+class TestArrivalRateEstimator:
+    """The bisect-windowed estimator must pin the old full-scan semantics."""
+
+    @staticmethod
+    def reference_rate(system, now, arrival_times):
+        """The pre-PR-3 deque-scan implementation, verbatim semantics."""
+        from collections import deque
+
+        times = deque(arrival_times)
+        short_window = max(4.0 * system.options.workload_check_interval, 120.0)
+        long_window = 3.0 * short_window
+        while times and times[0] < now - 2 * long_window:
+            times.popleft()
+
+        def rate_over(window):
+            span = min(window, max(now, 1.0))
+            recent = sum(1 for t in times if t >= now - window)
+            observed = recent / span
+            if now < window:
+                observed = max(observed, system.initial_arrival_rate)
+            return observed
+
+        observed = max(rate_over(short_window), rate_over(long_window))
+        backlog_pressure = system.request_queue.pending / short_window
+        return max(observed + backlog_pressure, 1e-3)
+
+    def test_estimates_match_reference_scan(self):
+        import numpy as np
+
+        trace = steady_trace(duration=10_000.0)
+        simulator, _, system = build_system(trace, rate=0.4)
+        rng = np.random.default_rng(17)
+        arrivals = np.cumsum(rng.exponential(2.0, 3000)).tolist()
+        checkpoints = [0.0, 1.0, 119.9, 120.0, 360.0, 1500.0, 4321.5, 6000.0]
+        consumed = 0
+        for now in checkpoints:
+            while consumed < len(arrivals) and arrivals[consumed] <= now:
+                system._arrival_times.append(arrivals[consumed])
+                consumed += 1
+            simulator.clock.advance_to(now)
+            expected = self.reference_rate(system, now, arrivals[:consumed])
+            assert system.estimate_arrival_rate() == expected
+
+    def test_estimates_match_reference_with_boundary_ties(self):
+        # Arrival timestamps landing exactly on the window boundary must be
+        # counted on the same side as the old `t >= now - window` scan.
+        trace = steady_trace(duration=10_000.0)
+        simulator, _, system = build_system(trace, rate=0.4)
+        now = 500.0
+        short_window = max(4.0 * system.options.workload_check_interval, 120.0)
+        boundary = now - short_window
+        times = [boundary - 1.0, boundary, boundary + 1e-9, now - 1.0]
+        system._arrival_times.extend(times)
+        simulator.clock.advance_to(now)
+        assert system.estimate_arrival_rate() == self.reference_rate(system, now, times)
+
+    def test_lazy_trim_keeps_memory_bounded(self):
+        trace = steady_trace(duration=100_000.0)
+        simulator, _, system = build_system(trace, rate=0.4)
+        short_window = max(4.0 * system.options.workload_check_interval, 120.0)
+        horizon = 2 * 3.0 * short_window  # the estimator's retention window
+        step = 0.5
+        now = 0.0
+        for i in range(40_000):
+            now = step * (i + 1)
+            system._arrival_times.append(now)
+            if i % 200 == 0:
+                simulator.clock.advance_to(now)
+                system.estimate_arrival_rate()
+        # The kept list holds at most ~2x the retention horizon's arrivals.
+        assert len(system._arrival_times) <= 2 * int(horizon / step) + 4096

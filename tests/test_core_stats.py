@@ -118,3 +118,34 @@ class TestSummary:
         b = self._populated_stats()
         b.tokens_generated += 1
         assert a.summary_text() != b.summary_text()
+
+
+class TestIncrementalAggregates:
+    def test_unretained_stats_match_retained_metrics(self):
+        retained = ServingStats(system_name="s", retain_requests=True)
+        unretained = ServingStats(system_name="s", retain_requests=False)
+        for arrival, latency in [(0.0, 2.0), (5.0, 3.0), (1.0, 7.5), (9.0, 0.5)]:
+            retained.record_completion(finished_request(arrival, latency))
+            unretained.record_completion(finished_request(arrival, latency))
+        assert unretained.completed_requests == []
+        assert retained.completed_count == unretained.completed_count == 4
+        assert retained.latencies() == unretained.latencies()
+        assert retained.request_timeline() == unretained.request_timeline()
+        assert retained.summary_text() == unretained.summary_text()
+
+    def test_latency_sum_matches_sequential_sum_bitwise(self):
+        # Zero arrivals so each request's stored latency is bit-exact, then
+        # the streaming accumulator must equal left-to-right sum() exactly.
+        stats = ServingStats()
+        latencies = [0.1, 0.2, 0.30000000000000004, 7.7, 1e-12]
+        for latency in latencies:
+            stats.record_completion(finished_request(0.0, latency))
+        assert stats.summary()["latency_sum"] == sum(latencies)
+        assert stats.summary()["latency_max"] == max(latencies)
+
+    def test_incomplete_request_counts_but_adds_no_latency(self):
+        stats = ServingStats(retain_requests=False)
+        stats.record_completion(Request(arrival_time=0.0, input_tokens=8, output_tokens=4))
+        assert stats.completed_count == 1
+        assert stats.latencies() == []
+        assert stats.summary()["latency_sum"] == 0

@@ -21,6 +21,7 @@ from repro.experiments.scenarios import (
     STABLE_MODELS,
     STABLE_TRACES,
     fluctuating_workload_scenario,
+    heavy_traffic_scenario,
     stable_workload_scenario,
 )
 from repro.workload.arrival import FixedArrivals, GammaArrivals
@@ -119,6 +120,26 @@ class TestRunner:
             == results["Rerouting"].submitted_requests
         )
 
+    def test_parallel_comparison_matches_serial(self):
+        # The multiprocessing sweep regenerates the workload from the
+        # seeded process inside each worker; results must be identical to
+        # the serial template-replay path, digest for digest.
+        systems = {"SpotServe": SpotServeSystem, "Rerouting": RequestReroutingSystem}
+        arrivals = GammaArrivals(rate=0.25, cv=2.0, seed=5)
+        serial = run_comparison(
+            systems, "GPT-20B", tiny_trace(), arrivals, drain_time=400.0
+        )
+        parallel = run_comparison(
+            systems, "GPT-20B", tiny_trace(), arrivals, drain_time=400.0, workers=2
+        )
+        assert set(parallel) == set(serial)
+        for name in systems:
+            assert (
+                parallel[name].stats.summary_text() == serial[name].stats.summary_text()
+            )
+            assert parallel[name].submitted_requests == serial[name].submitted_requests
+            assert parallel[name].total_cost == serial[name].total_cost
+
 
 class TestScenarios:
     def test_stable_scenarios_cover_the_figure6_grid(self):
@@ -148,6 +169,22 @@ class TestScenarios:
         assert scenario.allow_on_demand
         rates = [process.rate_at(t) for t in (0.0, scenario.duration / 2, scenario.duration - 1)]
         assert max(rates) > min(rates)
+
+    def test_heavy_traffic_scenario_shape(self):
+        scenario, process = heavy_traffic_scenario(target_requests=100_000)
+        assert scenario.max_instances > 14  # scaled-up market
+        assert scenario.retain_completed_requests is False
+        assert scenario.options().retain_completed_requests is False
+        # Expected arrivals overshoot the target by the safety margin.
+        expected = process.rate_at(0.0)  # profile exists and is positive
+        assert expected > 0
+        assert sum(zone.capacity for zone in scenario.zones) >= scenario.max_instances
+
+    def test_heavy_traffic_realises_target_request_count(self):
+        # Counting the streamed draws is cheap (no Request objects); the
+        # rescale margin must put the realised count at or above the target.
+        scenario, process = heavy_traffic_scenario(target_requests=20_000, duration=600.0)
+        assert process.count_arrivals(600.0) >= 20_000
 
     def test_workload_realisation_matches_nominal_rate(self):
         """The representative seeds keep the realized request count within

@@ -97,6 +97,87 @@ class TestEventQueue:
         assert len(popped) == len(times)
 
 
+class TestEventQueueCompaction:
+    def test_len_counts_live_events_only(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i + 1)) for i in range(10)]
+        events[3].cancel()
+        events[7].cancel()
+        assert len(queue) == 8
+
+    def test_cancel_heavy_schedule_keeps_heap_bounded(self):
+        # Emulates repeated batch interruption: every round schedules a
+        # completion event and cancels it before it fires.  Without
+        # compaction the heap grows by one dead entry per round.
+        queue = EventQueue()
+        for round_index in range(5000):
+            event = queue.schedule(float(round_index + 1))
+            event.cancel()
+        assert len(queue) == 0
+        assert len(queue._heap) < 128
+
+    def test_compaction_preserves_pop_order(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i), payload={"idx": i}) for i in range(200)]
+        for i, event in enumerate(events):
+            if i % 2 == 0:
+                event.cancel()
+        popped = [queue.pop().payload["idx"] for _ in range(len(queue))]
+        assert popped == [i for i in range(200) if i % 2 == 1]
+
+    def test_compaction_preserves_same_time_insertion_order(self):
+        queue = EventQueue()
+        keep = []
+        for i in range(300):
+            event = queue.schedule(1.0, payload={"idx": i})
+            if i % 3 == 0:
+                keep.append(i)
+            else:
+                event.cancel()
+        assert [queue.pop().payload["idx"] for _ in range(len(queue))] == keep
+
+    def test_cancel_after_pop_is_harmless(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0)
+        queue.schedule(2.0)
+        popped = queue.pop()
+        assert popped is first
+        popped.cancel()  # already dispatched: must not corrupt accounting
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0)
+        queue.schedule(2.0)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_pop_next_respects_until(self):
+        queue = EventQueue()
+        queue.schedule(1.0)
+        queue.schedule(10.0)
+        assert queue.pop_next(until=5.0).time == 1.0
+        assert queue.pop_next(until=5.0) is None
+        assert queue.pop_next() is not None
+
+    def test_interleaved_cancel_and_run_dispatches_survivors(self):
+        sim = Simulator()
+        fired = []
+        pending = []
+        for i in range(500):
+            pending.append(
+                sim.schedule_at(float(i + 1), EventType.GENERIC,
+                                callback=lambda e: fired.append(e.time))
+            )
+        for i, event in enumerate(pending):
+            if i % 5 != 0:
+                event.cancel()
+        sim.run()
+        assert fired == [float(i + 1) for i in range(500) if i % 5 == 0]
+
+
 class TestSimulator:
     def test_dispatch_advances_clock(self):
         sim = Simulator()

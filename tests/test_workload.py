@@ -166,3 +166,48 @@ class TestMAFProfile:
     def test_invalid_fractions_rejected(self):
         with pytest.raises(ValueError):
             synthesize_maf_profile(ramp_start_fraction=0.6, peak_fraction=0.5)
+
+
+class TestStreamingIterTimes:
+    """The generator-backed ``iter_times`` must be *bit-identical* to the
+    scalar reference ``arrival_times`` -- the streaming arrival source feeds
+    the simulator from it, so any divergence would silently change golden
+    digests."""
+
+    def test_poisson_iter_matches_reference(self):
+        process = PoissonArrivals(rate=2.0, seed=1)
+        assert list(process.iter_times(5000.0)) == process.arrival_times(5000.0)
+
+    def test_gamma_iter_matches_reference(self):
+        process = GammaArrivals(rate=1.0, cv=6.0, seed=3)
+        assert list(process.iter_times(50_000.0)) == process.arrival_times(50_000.0)
+
+    def test_time_varying_iter_matches_reference(self):
+        profile = synthesize_maf_profile(duration=1800.0, seed=7).rescaled(3.0)
+        process = profile.to_arrival_process(cv=6.0, seed=4)
+        assert list(process.iter_times(1800.0)) == process.arrival_times(1800.0)
+
+    def test_time_varying_zero_rate_pieces_match_reference(self):
+        process = TimeVaryingArrivals(
+            [(0.0, 0.5), (100.0, 0.0), (200.0, 2.0), (400.0, 0.0)], cv=2.0, seed=9
+        )
+        assert list(process.iter_times(600.0)) == process.arrival_times(600.0)
+
+    def test_fixed_iter_matches_reference(self):
+        process = FixedArrivals([1.0, 5.0, 9.0])
+        assert list(process.iter_times(8.0)) == process.arrival_times(8.0)
+
+    @given(st.integers(min_value=0, max_value=50), st.floats(min_value=10.0, max_value=5000.0))
+    @settings(max_examples=25, deadline=None)
+    def test_gamma_iter_matches_reference_any_seed(self, seed, duration):
+        process = GammaArrivals(rate=0.8, cv=4.0, seed=seed)
+        assert list(process.iter_times(duration)) == process.arrival_times(duration)
+
+    def test_count_arrivals_matches_length(self):
+        process = GammaArrivals(rate=1.5, cv=6.0, seed=11)
+        assert process.count_arrivals(3000.0) == len(process.arrival_times(3000.0))
+
+    def test_generate_uses_streaming_times(self):
+        process = GammaArrivals(rate=0.5, cv=3.0, seed=2)
+        requests = process.generate(600.0)
+        assert [r.arrival_time for r in requests] == process.arrival_times(600.0)
