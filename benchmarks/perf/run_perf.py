@@ -27,14 +27,21 @@ with preemption waves and a price spike, the workload class the event-core
 fast path (``__slots__`` events, tuple payloads, per-type dispatch tables,
 heap compaction, streaming arrivals, incremental stats) exists for.
 
+A ``zone-outage`` scenario keeps the fault-injection path (ZONE_OUTAGE
+events, fleet evacuation, conservation accounting) on the measured/guarded
+path, and ``--policy-benchmark`` appends the autoscaling-policy head-to-head
+sweep (cost / p99 / requests unserved per policy x scenario; see
+:mod:`repro.experiments.policy_bench`) to the BENCH JSON.
+
 Usage::
 
-    python benchmarks/perf/run_perf.py                       # both golden scenarios
+    python benchmarks/perf/run_perf.py                       # all golden scenarios
     python benchmarks/perf/run_perf.py --scenario small      # quick CI smoke
     python benchmarks/perf/run_perf.py --scenario small \
         --check benchmarks/perf/baseline.json                # regression guard
     python benchmarks/perf/run_perf.py --jobs 4              # scenario sweep on all cores
     python benchmarks/perf/run_perf.py --scenario heavy-traffic --profile
+    python benchmarks/perf/run_perf.py --policy-benchmark    # policy head-to-head
 """
 
 from __future__ import annotations
@@ -55,11 +62,17 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.server import SpotServeSystem  # noqa: E402
-from repro.experiments.runner import ExperimentResult, run_serving_experiment  # noqa: E402
+from repro.experiments.policy_bench import run_policy_benchmark  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    ExperimentResult,
+    run_scenario_experiment,
+    run_serving_experiment,
+)
 from repro.experiments.scenarios import (  # noqa: E402
     heavy_traffic_scenario,
     multi_zone_fluctuating_scenario,
     stable_workload_scenario,
+    zone_outage_scenario,
 )
 
 #: Control-stack phases that make up one adaptation round.
@@ -90,32 +103,12 @@ def _run_end_to_end() -> ExperimentResult:
 
 def _run_multi_zone(duration: float, drain_time: float) -> ExperimentResult:
     scenario, arrivals = multi_zone_fluctuating_scenario("OPT-6.7B", duration=duration)
-    return run_serving_experiment(
-        SpotServeSystem,
-        scenario.model_name,
-        trace=None,
-        arrival_process=arrivals,
-        duration=scenario.duration,
-        drain_time=drain_time,
-        options=scenario.options(),
-        zones=scenario.zones,
-        allow_spot_requests=True,
-    )
+    return run_scenario_experiment(scenario, arrivals, drain_time=drain_time)
 
 
 def _run_heavy_traffic() -> ExperimentResult:
     scenario, arrivals = heavy_traffic_scenario("OPT-6.7B")
-    return run_serving_experiment(
-        SpotServeSystem,
-        scenario.model_name,
-        trace=None,
-        arrival_process=arrivals,
-        duration=scenario.duration,
-        drain_time=300.0,
-        options=scenario.options(),
-        zones=scenario.zones,
-        allow_spot_requests=True,
-    )
+    return run_scenario_experiment(scenario, arrivals, drain_time=300.0)
 
 
 def _run_multi_zone_wrapper() -> ExperimentResult:
@@ -124,6 +117,11 @@ def _run_multi_zone_wrapper() -> ExperimentResult:
 
 def _run_small_wrapper() -> ExperimentResult:
     return _run_multi_zone(300.0, 150.0)
+
+
+def _run_zone_outage() -> ExperimentResult:
+    scenario, arrivals = zone_outage_scenario("OPT-6.7B")
+    return run_scenario_experiment(scenario, arrivals, drain_time=300.0)
 
 
 SCENARIOS: Dict[str, Callable[[], ExperimentResult]] = {
@@ -135,6 +133,10 @@ SCENARIOS: Dict[str, Callable[[], ExperimentResult]] = {
     # >=100k streamed requests across three zones: the event-core stress
     # scenario behind the ``sim_events_per_sec`` metric.
     "heavy-traffic": _run_heavy_traffic,
+    # Full-zone fault injection: the cheapest zone goes dark mid-run and the
+    # fleet evacuates across the survivors (ZONE_OUTAGE events, evacuation
+    # replanning, conservation accounting all on the measured path).
+    "zone-outage": _run_zone_outage,
 }
 
 
@@ -286,8 +288,24 @@ def main(argv=None) -> int:
         help="run each scenario under cProfile and print the top 25 "
         "functions by cumulative time (forces --jobs 1)",
     )
+    parser.add_argument(
+        "--policy-benchmark",
+        action="store_true",
+        help="also run the autoscaling-policy head-to-head sweep (every "
+        "policy variant through the fluctuating / heavy-traffic / "
+        "zone-outage scenarios) and embed the per-policy cost/p99/unserved "
+        "rows into the BENCH JSON",
+    )
+    parser.add_argument(
+        "--policy-workers",
+        type=int,
+        default=min(multiprocessing.cpu_count(), 4),
+        help="worker processes for the policy sweep's cells (default: up to "
+        "4).  The sweep is not wall-clock-timed, so it may parallelize even "
+        "under --check, which forces the timed scenarios serial",
+    )
     args = parser.parse_args(argv)
-    names = args.scenario or ["end-to-end", "multi-zone", "heavy-traffic"]
+    names = args.scenario or ["end-to-end", "multi-zone", "heavy-traffic", "zone-outage"]
     if args.check is not None and args.jobs > 1:
         # Parallel scenarios time each other's interference; comparing that
         # against a serially-recorded baseline would fail healthy builds
@@ -332,6 +350,18 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "scenarios": reports,
     }
+
+    if args.policy_benchmark:
+        workers = max(args.policy_workers, args.jobs)
+        print(f"[perf] running autoscaling-policy head-to-head sweep ({workers} workers) ...")
+        policy_payload = run_policy_benchmark(workers=workers if workers > 1 else None)
+        for row in policy_payload["rows"]:
+            print(
+                f"[policy] {row['scenario']:<13} {row['policy']:<20} "
+                f"cost ${row['total_cost']:.2f}  p99 {row['p99_latency']}s  "
+                f"unserved {row['requests_unserved']}"
+            )
+        payload["policy_benchmark"] = policy_payload
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[perf] wrote {args.output}")
 

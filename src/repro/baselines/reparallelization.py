@@ -47,22 +47,14 @@ class ReparallelizationSystem(SpotServeSystem):
         return
 
     def handle_preemption_final(self, instance: Instance) -> None:
-        affected = [p for p in self.pipelines if p.uses_instance(instance.instance_id)]
-        now = self.simulator.now
-        for pipeline in affected:
-            event = self._completion_events.pop(id(pipeline), None)
-            if event is not None:
-                event.cancel()
-            batch = pipeline.interrupt(now, preserve_cache=False)
-            if batch is not None:
-                batch.drop_cache()
-                self.request_queue.enqueue_front(batch.requests)
-                self.stats.rerouted_batches += 1
-        if affected:
-            self.pipelines = [
-                p for p in self.pipelines if not p.uses_instance(instance.instance_id)
-            ]
+        self._teardown_pipelines_using({instance.instance_id})
         self._plan_reconfiguration(reason="preemption-final")
+
+    def handle_zone_outage(self, zone: str, phase: str, payload: dict) -> None:
+        # Reactive baseline: the warning is ignored (like the grace period);
+        # the full restart happens only once the zone is actually gone.
+        if phase == "down":
+            self._plan_reconfiguration(reason="zone-outage-final")
 
     # ------------------------------------------------------------------
     # Restart-based transition

@@ -62,27 +62,22 @@ class RequestReroutingSystem(ServingSystemBase):
         return
 
     def handle_preemption_final(self, instance: Instance) -> None:
-        now = self.simulator.now
-        affected = [p for p in self.pipelines if p.uses_instance(instance.instance_id)]
-        for pipeline in affected:
-            event = self._completion_events.pop(id(pipeline), None)
-            if event is not None:
-                event.cancel()
-            batch = pipeline.interrupt(now, preserve_cache=False)
-            if batch is not None:
-                batch.drop_cache()
-                self.request_queue.enqueue_front(batch.requests)
-                self.stats.rerouted_batches += 1
+        affected = self._teardown_pipelines_using({instance.instance_id})
         if affected:
-            self.pipelines = [
-                p for p in self.pipelines if not p.uses_instance(instance.instance_id)
-            ]
             self._record_scaling("preemption-final", stall_time=0.0)
             self._dispatch()
         # Note: the surviving instances of a broken pipeline stay idle until a
         # *new* instance is allocated (Section 2.3); they are not re-grouped
         # among themselves, which is exactly what makes the rerouting baseline
         # lose serving capacity after preemptions.
+
+    def handle_zone_outage(self, zone: str, phase: str, payload: dict) -> None:
+        # The shared bookkeeping already tore down every pipeline the outage
+        # broke; the rerouting baseline just records the capacity loss and
+        # keeps serving on the surviving pipelines (it never re-groups).
+        if phase == "down":
+            self._record_scaling("zone-outage", stall_time=0.0)
+            self._dispatch()
 
     def handle_acquisition_ready(self, instance: Instance) -> None:
         self._try_add_pipelines()

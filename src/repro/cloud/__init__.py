@@ -11,7 +11,7 @@ from .instance import (
 from .manager import InstanceManager
 from .pricing import BillingRecord, CostTracker, PriceSchedule
 from .provider import CloudProvider
-from .zone import ZoneSpec, single_zone, validate_zones
+from .zone import OutageWindow, ZoneSpec, single_zone, validate_zones
 from .trace import (
     BUILTIN_TRACES,
     AvailabilityTrace,
@@ -38,6 +38,7 @@ __all__ = [
     "InstanceState",
     "InstanceType",
     "Market",
+    "OutageWindow",
     "PriceSchedule",
     "TraceEvent",
     "TraceEventKind",

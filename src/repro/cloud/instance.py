@@ -168,6 +168,18 @@ class Instance:
         self.state = InstanceState.PREEMPTED
         self.termination_time = time
 
+    def fail(self, time: float) -> None:
+        """The cloud loses the instance to a failure (e.g. a zone outage).
+
+        Unlike spot preemption this can hit any market and any live state --
+        an availability-zone outage takes down on-demand and still-launching
+        instances alike.
+        """
+        if not self.is_alive:
+            raise ValueError("instance already terminated")
+        self.state = InstanceState.PREEMPTED
+        self.termination_time = time
+
     def release(self, time: float) -> None:
         """The serving system voluntarily gives the instance back."""
         if not self.is_alive:

@@ -54,6 +54,49 @@ class InstanceManager:
         self._pending_preemption.pop(instance.instance_id, None)
         return instance
 
+    def on_zone_outage_warning(self, zone: str, deadline: float) -> List[Instance]:
+        """Mark *every* held instance of *zone* as doomed by *deadline*.
+
+        Spot instances also receive individual preemption notices from the
+        provider, but on-demand instances get none -- a zone outage is the
+        only thing that kills them -- so the whole zone is excluded from
+        :meth:`stable_instances` here.  Returns the newly doomed instances.
+        """
+        doomed: List[Instance] = []
+        for instance in self._held.values():
+            if instance.zone != zone or not instance.is_usable:
+                continue
+            if instance.instance_id not in self._pending_preemption:
+                doomed.append(instance)
+            self._pending_preemption[instance.instance_id] = deadline
+        return doomed
+
+    def mark_doomed(self, instance_id: str, deadline: float) -> None:
+        """Exclude one instance from the stable set until *deadline*.
+
+        Used for instances that become ready inside a zone that is already
+        under an outage warning -- they never get an individual preemption
+        notice but must not be planned onto.
+        """
+        self._pending_preemption[instance_id] = deadline
+
+    def on_zone_outage_down(self, zone: str) -> List[Instance]:
+        """Drop every held instance of *zone* that the outage killed.
+
+        Instances that died without an individual ``PREEMPTION_FINAL`` event
+        (on-demand, or spot granted after the warning) are removed here;
+        returns the instances that were dropped.
+        """
+        dropped: List[Instance] = []
+        for instance_id in list(self._held):
+            instance = self._held[instance_id]
+            if instance.zone != zone or instance.is_alive:
+                continue
+            self._held.pop(instance_id, None)
+            self._pending_preemption.pop(instance_id, None)
+            dropped.append(instance)
+        return dropped
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
@@ -114,23 +157,36 @@ class InstanceManager:
     # ------------------------------------------------------------------
     # Algorithm 1 allocation policy
     # ------------------------------------------------------------------
-    def alloc(self, count: int, zone: Optional[str] = None) -> List[Instance]:
+    def alloc(
+        self,
+        count: int,
+        zone: Optional[str] = None,
+        avoid_zones: Optional[Sequence[str]] = None,
+    ) -> List[Instance]:
         """Request *count* extra instances (Algorithm 1, line 8).
 
         Spot and on-demand allocations are issued at the same time so that a
         failed spot allocation does not delay capacity recovery; on-demand is
         only used when mixing is enabled.  ``zone`` pins the request to one
-        availability zone (the autoscaler's per-zone decisions use this).
-        Returns the instances that were actually granted (they become usable
-        later, announced by ``ACQUISITION_READY`` events).
+        availability zone (the autoscaler's per-zone decisions use this);
+        ``avoid_zones`` keeps zone-spread requests out of zones the serving
+        system knows are doomed (outage warnings).  Returns the instances
+        that were actually granted (they become usable later, announced by
+        ``ACQUISITION_READY`` events).
         """
         if count <= 0:
             return []
-        granted: List[Instance] = list(self.provider.request_spot(count, zone=zone))
+        granted: List[Instance] = list(
+            self.provider.request_spot(count, zone=zone, avoid_zones=avoid_zones)
+        )
         if self.allow_on_demand:
             remaining = count - len(granted)
             if remaining > 0:
-                granted.extend(self.provider.request_on_demand(remaining, zone=zone))
+                granted.extend(
+                    self.provider.request_on_demand(
+                        remaining, zone=zone, avoid_zones=avoid_zones
+                    )
+                )
         return granted
 
     def free(

@@ -14,7 +14,15 @@ interface the paper's instance manager consumes:
   always succeed (up to the zone's capacity) and become ready after the
   instance type's startup delay,
 * released or preempted instances stop accruing cost in the
-  :class:`~repro.cloud.pricing.CostTracker`.
+  :class:`~repro.cloud.pricing.CostTracker`,
+* zones may carry scheduled :class:`~repro.cloud.zone.OutageWindow` periods:
+  the provider announces each outage with ``ZONE_OUTAGE`` events (an optional
+  ``"warning"`` phase that also issues per-instance preemption notices, a
+  ``"down"`` phase that reclaims **every** instance in the zone atomically --
+  spot, on-demand and still-launching alike -- and a ``"restored"`` phase when
+  the window ends), and the zone's capacity reads as zero for the whole
+  window, so neither trace grants nor allocation requests can land in a dark
+  zone.
 
 The provider manages one or more **availability zones**
 (:class:`~repro.cloud.zone.ZoneSpec`): each zone replays its own trace with
@@ -36,7 +44,7 @@ from ..sim.events import Event, EventType
 from .instance import DEFAULT_ZONE, G4DN_12XLARGE, Instance, InstanceState, InstanceType, Market
 from .pricing import CostTracker, PriceSchedule
 from .trace import AvailabilityTrace, TraceEventKind
-from .zone import ZoneSpec, single_zone, validate_zones
+from .zone import OutageWindow, ZoneSpec, single_zone, validate_zones
 
 
 def _zone_victim_seed(base_seed: int, zone_name: str) -> int:
@@ -83,8 +91,14 @@ class CloudProvider:
         }
         self._instances: Dict[str, Instance] = {}
         self._preempted_count = 0
+        self._zone_outage_count = 0
+        #: Pending ``ACQUISITION_READY`` events per launching instance, so a
+        #: zone outage can cancel the ready announcement of an instance that
+        #: died before finishing its startup delay.
+        self._pending_ready: Dict[str, Event] = {}
         for zone in self.zones.values():
             self._schedule_trace(zone)
+            self._schedule_outages(zone)
 
     # ------------------------------------------------------------------
     # Backward-compatible single-zone accessors
@@ -147,6 +161,99 @@ class CloudProvider:
             self._issue_preemption_notice(victim, event.time)
 
     # ------------------------------------------------------------------
+    # Zone outages
+    # ------------------------------------------------------------------
+    def _schedule_outages(self, zone: ZoneSpec) -> None:
+        """Schedule the ZONE_OUTAGE event phases for every outage window."""
+        for outage in zone.outages:
+            base_payload = {
+                "zone": zone.name,
+                "start": outage.start,
+                "end": outage.end,
+                "warning": outage.warning,
+            }
+            if outage.warning > 0 and outage.notice_time < outage.start:
+                self.simulator.schedule_at(
+                    outage.notice_time,
+                    EventType.ZONE_OUTAGE,
+                    payload={**base_payload, "phase": "warning"},
+                    callback=self._on_zone_outage_warning,
+                )
+            self.simulator.schedule_at(
+                outage.start,
+                EventType.ZONE_OUTAGE,
+                payload={**base_payload, "phase": "down"},
+                callback=self._on_zone_outage_down,
+            )
+            self.simulator.schedule_at(
+                outage.end,
+                EventType.ZONE_OUTAGE,
+                payload={**base_payload, "phase": "restored"},
+            )
+
+    def _on_zone_outage_warning(self, event: Event) -> None:
+        """Announce an upcoming outage: grace every spot instance in the zone.
+
+        Running spot instances get regular preemption notices whose reclaim
+        deadline is the *outage start* (not the per-instance grace period),
+        so the existing JIT interruption machinery budgets the evacuation
+        against the real deadline.  On-demand, launching and already-graced
+        instances get no (second) notice -- they die at the ``"down"`` phase
+        -- but the ZONE_OUTAGE event itself tells the serving system the
+        whole zone is doomed.
+        """
+        zone_name = event.payload["zone"]
+        deadline = event.payload["start"]
+        victims = [
+            instance
+            for instance in self._instances.values()
+            if instance.zone == zone_name
+            and instance.market is Market.SPOT
+            and instance.state is InstanceState.RUNNING
+        ]
+        victims.sort(key=lambda inst: inst.instance_id)
+        for victim in victims:
+            self._issue_preemption_notice(victim, event.time, deadline=deadline)
+
+    def _on_zone_outage_down(self, event: Event) -> None:
+        """The zone goes dark: reclaim every instance in it atomically."""
+        zone_name = event.payload["zone"]
+        victims = [
+            instance
+            for instance in self._instances.values()
+            if instance.zone == zone_name and instance.is_alive
+        ]
+        victims.sort(key=lambda inst: inst.instance_id)
+        for victim in victims:
+            pending_ready = self._pending_ready.pop(victim.instance_id, None)
+            if pending_ready is not None:
+                pending_ready.cancel()
+            victim.fail(event.time)
+            self.cost_tracker.stop_billing(victim, event.time)
+            self._preempted_count += 1
+        self._zone_outage_count += 1
+        # Handlers dispatched after this callback see exactly who died.
+        event.payload["failed_instances"] = victims
+
+    def zone_is_down(self, zone: str, time: Optional[float] = None) -> bool:
+        """True while *zone* is inside a scheduled outage window."""
+        when = self.simulator.now if time is None else time
+        return self.zones[zone].outage_at(when) is not None
+
+    def next_outage(self, zone: str, time: Optional[float] = None) -> Optional[OutageWindow]:
+        """The next outage window of *zone* at or after *time* (default: now)."""
+        when = self.simulator.now if time is None else time
+        for window in self.zones[zone].outages:
+            if window.end > when:
+                return window
+        return None
+
+    @property
+    def zone_outage_count(self) -> int:
+        """Number of zone outages that have struck so far."""
+        return self._zone_outage_count
+
+    # ------------------------------------------------------------------
     # Spot lifecycle
     # ------------------------------------------------------------------
     def _grant_spot_instance(
@@ -178,14 +285,28 @@ class CloudProvider:
                     payload={"instance": instance},
                 )
         else:
-            ready_at = time + self.instance_type.startup_delay
-            self.simulator.schedule_at(
-                ready_at,
-                EventType.ACQUISITION_READY,
-                payload={"instance": instance},
-                callback=lambda event, inst=instance: inst.mark_ready(event.time),
-            )
+            self._schedule_ready(instance, time + self.instance_type.startup_delay)
         return instance
+
+    def _schedule_ready(self, instance: Instance, ready_at: float) -> None:
+        """Announce *instance* as usable at *ready_at* (cancellable).
+
+        The pending event is tracked so that a zone outage striking during
+        the startup delay can cancel the announcement instead of marking a
+        dead instance ready.
+        """
+        event = self.simulator.schedule_at(
+            ready_at,
+            EventType.ACQUISITION_READY,
+            payload={"instance": instance},
+            callback=self._on_instance_ready,
+        )
+        self._pending_ready[instance.instance_id] = event
+
+    def _on_instance_ready(self, event: Event) -> None:
+        instance: Instance = event.payload["instance"]
+        self._pending_ready.pop(instance.instance_id, None)
+        instance.mark_ready(event.time)
 
     def _select_preemption_victims(self, count: int, zone_name: str) -> List[Instance]:
         """Pick spot instances of *zone_name* to reclaim, uniformly at random.
@@ -210,8 +331,23 @@ class CloudProvider:
         chosen = rng.choice(len(candidates), size=count, replace=False)
         return [candidates[index] for index in sorted(chosen)]
 
-    def _issue_preemption_notice(self, instance: Instance, time: float) -> None:
-        deadline = instance.notify_preemption(time)
+    def _issue_preemption_notice(
+        self, instance: Instance, time: float, deadline: Optional[float] = None
+    ) -> None:
+        """Notify and schedule the reclaim of *instance*.
+
+        ``deadline`` overrides the per-instance grace deadline (a zone-outage
+        warning graces the whole zone until the outage start instead).
+        """
+        pending_ready = self._pending_ready.pop(instance.instance_id, None)
+        if pending_ready is not None:
+            # A still-launching victim will never finish booting: cancel its
+            # ready announcement or it would fire after the reclaim and try
+            # to mark a graced/preempted instance ready.
+            pending_ready.cancel()
+        grace_deadline = instance.notify_preemption(time)
+        if deadline is None:
+            deadline = grace_deadline
         self.simulator.schedule_at(
             time,
             EventType.PREEMPTION_NOTICE,
@@ -235,27 +371,41 @@ class CloudProvider:
     # ------------------------------------------------------------------
     # Allocation API (used by the instance manager / autoscaler)
     # ------------------------------------------------------------------
-    def _allocation_zones(self, zone: Optional[str]) -> List[ZoneSpec]:
-        """Zones to satisfy an allocation, in preference order."""
+    def _allocation_zones(
+        self, zone: Optional[str], avoid_zones: Optional[Sequence[str]] = None
+    ) -> List[ZoneSpec]:
+        """Zones to satisfy an allocation, in preference order.
+
+        ``avoid_zones`` drops zones the *tenant* refuses to buy in (e.g.
+        zones under an outage warning: the cloud still sells capacity there,
+        but every grant would die at the outage start).
+        """
         if zone is not None:
             if zone not in self.zones:
                 raise KeyError(f"unknown zone {zone!r}; available: {self.zone_names}")
             return [self.zones[zone]]
-        return list(self.zones.values())
+        avoided = set(avoid_zones or ())
+        return [spec for name, spec in self.zones.items() if name not in avoided]
 
-    def request_on_demand(self, count: int, zone: Optional[str] = None) -> List[Instance]:
+    def request_on_demand(
+        self,
+        count: int,
+        zone: Optional[str] = None,
+        avoid_zones: Optional[Sequence[str]] = None,
+    ) -> List[Instance]:
         """Allocate *count* on-demand instances.
 
         Always succeeds up to the targeted zones' capacity.  The instances
         become usable after the instance type's startup delay and are
         announced with an ``ACQUISITION_READY`` event.  With ``zone=None``
-        the request spreads over zones in declaration order.
+        the request spreads over zones in declaration order, skipping any
+        ``avoid_zones``.
         """
         if count <= 0:
             return []
         now = self.simulator.now
         granted: List[Instance] = []
-        for zone_spec in self._allocation_zones(zone):
+        for zone_spec in self._allocation_zones(zone, avoid_zones):
             room = self.capacity_remaining(zone_spec.name)
             for _ in range(min(count - len(granted), room)):
                 instance = Instance(
@@ -271,31 +421,31 @@ class CloudProvider:
                     schedule=zone_spec.on_demand_schedule(self.instance_type),
                     zone=zone_spec.name,
                 )
-                ready_at = now + self.instance_type.startup_delay
-                self.simulator.schedule_at(
-                    ready_at,
-                    EventType.ACQUISITION_READY,
-                    payload={"instance": instance},
-                    callback=lambda event, inst=instance: inst.mark_ready(event.time),
-                )
+                self._schedule_ready(instance, now + self.instance_type.startup_delay)
                 granted.append(instance)
             if len(granted) >= count:
                 break
         return granted
 
-    def request_spot(self, count: int, zone: Optional[str] = None) -> List[Instance]:
+    def request_spot(
+        self,
+        count: int,
+        zone: Optional[str] = None,
+        avoid_zones: Optional[Sequence[str]] = None,
+    ) -> List[Instance]:
         """Try to allocate extra spot instances beyond the trace.
 
         The published traces already encode every spot instance the cloud was
         willing to grant, so by default extra requests fail (return an empty
         list); set ``allow_spot_requests=True`` to model a more generous
-        multi-zone market.  Grants are clipped to each zone's capacity.
+        multi-zone market.  Grants are clipped to each zone's capacity and
+        skip any ``avoid_zones``.
         """
         if count <= 0 or not self.allow_spot_requests:
             return []
         now = self.simulator.now
         granted: List[Instance] = []
-        for zone_spec in self._allocation_zones(zone):
+        for zone_spec in self._allocation_zones(zone, avoid_zones):
             room = self.capacity_remaining(zone_spec.name)
             for _ in range(min(count - len(granted), room)):
                 granted.append(
@@ -341,8 +491,14 @@ class CloudProvider:
         )
 
     def capacity_remaining(self, zone: str) -> int:
-        """Instances the zone can still host (a large number when unlimited)."""
+        """Instances the zone can still host (a large number when unlimited).
+
+        A zone inside an outage window has no capacity at all: trace grants
+        and allocation requests alike are refused until the window ends.
+        """
         spec = self.zones[zone]
+        if spec.outage_at(self.simulator.now) is not None:
+            return 0
         if spec.capacity is None:
             return 1_000_000
         return max(spec.capacity - self.alive_in_zone(zone), 0)

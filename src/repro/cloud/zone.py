@@ -12,7 +12,12 @@ price that drifts over time.  :class:`ZoneSpec` captures one such zone:
   host (``None`` = unlimited, the single-zone seed behaviour),
 * ``spot_pricing`` / ``on_demand_pricing`` -- hourly price schedules; spot
   prices may spike mid-run, which is what the cost-aware autoscaling policy
-  arbitrages across zones.
+  arbitrages across zones,
+* ``outages`` -- scheduled :class:`OutageWindow` periods during which the
+  *whole zone* goes dark: every instance in the zone is reclaimed atomically
+  and the zone's capacity drops to zero until the window ends.  An outage may
+  carry an advance ``warning`` mirroring the spot grace period, giving the
+  serving system a chance to evacuate the fleet across surviving zones.
 
 The :class:`~repro.cloud.provider.CloudProvider` accepts a list of zone
 specs and keeps a per-zone victim RNG so multi-zone replays stay
@@ -22,11 +27,50 @@ deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .instance import DEFAULT_ZONE, InstanceType
 from .pricing import PriceSchedule
 from .trace import AvailabilityTrace
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One scheduled full-zone outage.
+
+    The zone's capacity is zero for ``[start, start + duration)``.  With a
+    positive ``warning`` the provider announces the outage ``warning``
+    seconds before ``start`` (clamped to time zero) and issues preemption
+    notices for every spot instance in the zone with the outage start as the
+    reclaim deadline -- the zone-wide analogue of the per-instance spot
+    grace period.  ``warning=0`` models an unannounced AZ failure.
+    """
+
+    start: float
+    duration: float
+    warning: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("outages cannot start before time zero")
+        if self.duration <= 0:
+            raise ValueError("outage duration must be positive")
+        if self.warning < 0:
+            raise ValueError("outage warning must be non-negative")
+
+    @property
+    def end(self) -> float:
+        """First instant the zone is available again."""
+        return self.start + self.duration
+
+    @property
+    def notice_time(self) -> float:
+        """When the outage is announced (clamped to time zero)."""
+        return max(self.start - self.warning, 0.0)
+
+    def covers(self, time: float) -> bool:
+        """True while the zone is dark (``start <= time < end``)."""
+        return self.start <= time < self.end
 
 
 @dataclass(frozen=True)
@@ -38,6 +82,7 @@ class ZoneSpec:
     capacity: Optional[int] = None
     spot_pricing: Optional[PriceSchedule] = None
     on_demand_pricing: Optional[PriceSchedule] = None
+    outages: Tuple[OutageWindow, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -50,6 +95,22 @@ class ZoneSpec:
                     f"zone {self.name}: trace starts with {self.trace.initial_instances} "
                     f"instances but capacity is {self.capacity}"
                 )
+        ordered = tuple(sorted(self.outages, key=lambda o: o.start))
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.start < earlier.end:
+                raise ValueError(
+                    f"zone {self.name}: outage windows overlap "
+                    f"([{earlier.start}, {earlier.end}) and "
+                    f"[{later.start}, {later.end}))"
+                )
+        object.__setattr__(self, "outages", ordered)
+
+    def outage_at(self, time: float) -> Optional[OutageWindow]:
+        """The outage window covering *time*, or ``None`` when the zone is up."""
+        for window in self.outages:
+            if window.covers(time):
+                return window
+        return None
 
     def spot_schedule(self, instance_type: InstanceType) -> PriceSchedule:
         """The zone's spot price schedule (instance-type default when unset)."""

@@ -282,6 +282,14 @@ class CostAwarePolicy(AutoscalePolicy):
         return best_feasible if best_feasible is not None else max(signal.current_instances, 1)
 
 
+#: Zone-arbitrage directions: ``"cheapest"`` acquires in the cheapest zones
+#: first and releases from the priciest (cost-minimising, the default);
+#: ``"priciest"`` inverts both -- expensive zones tend to be the calm,
+#: capacity-rich ones, so this models a stability-seeking deployment and
+#: gives the policy benchmark a head-to-head arbitrage comparison.
+ARBITRAGE_MODES = ("cheapest", "priciest")
+
+
 class Autoscaler:
     """Applies a sizing policy and arbitrages the delta across zones."""
 
@@ -292,14 +300,20 @@ class Autoscaler:
         max_instances: int = 32,
         cooldown: float = 60.0,
         scale_down_cooldown: Optional[float] = None,
+        arbitrage: str = "cheapest",
     ) -> None:
         if min_instances < 0 or max_instances < min_instances:
             raise ValueError("need 0 <= min_instances <= max_instances")
         if cooldown < 0:
             raise ValueError("cooldown must be non-negative")
+        if arbitrage not in ARBITRAGE_MODES:
+            raise ValueError(
+                f"unknown arbitrage mode {arbitrage!r}; available: {ARBITRAGE_MODES}"
+            )
         self.policy = policy
         self.min_instances = min_instances
         self.max_instances = max_instances
+        self.arbitrage = arbitrage
         self.cooldown = cooldown
         self.scale_down_cooldown = (
             scale_down_cooldown if scale_down_cooldown is not None else 2.0 * cooldown
@@ -331,7 +345,10 @@ class Autoscaler:
                     desired_instances=desired, reason=reason + " (cooldown)"
                 )
             acquire = self._distribute_acquire(
-                desired - committed, signal.zones, signal.spot_requests_allowed
+                desired - committed,
+                signal.zones,
+                signal.spot_requests_allowed,
+                prefer_priciest=self.arbitrage == "priciest",
             )
             if not acquire:
                 return AutoscaleDecision(
@@ -350,6 +367,7 @@ class Autoscaler:
                 signal.current_instances - desired,
                 signal.zones,
                 signal.spot_requests_allowed,
+                prefer_cheapest=self.arbitrage == "priciest",
             )
             if not release:
                 return AutoscaleDecision(
@@ -386,23 +404,29 @@ class Autoscaler:
     # ------------------------------------------------------------------
     @staticmethod
     def _distribute_acquire(
-        count: int, zones: Sequence[ZoneView], spot_allowed: bool = True
+        count: int,
+        zones: Sequence[ZoneView],
+        spot_allowed: bool = True,
+        prefer_priciest: bool = False,
     ) -> Dict[str, int]:
         """Send acquisitions to the cheapest zones with free capacity.
 
         "Cheapest" means the price of the market the grant will actually
         come from: the spot price when extra spot requests are possible,
-        the on-demand price otherwise.
+        the on-demand price otherwise.  ``prefer_priciest`` inverts the
+        ordering (the ``"priciest"`` arbitrage mode).
         """
         if not zones:
             return {}
+
+        sign = -1.0 if prefer_priciest else 1.0
 
         def price(zone: ZoneView) -> float:
             return zone.spot_price if spot_allowed else zone.on_demand_price
 
         acquire: Dict[str, int] = {}
         remaining = count
-        for zone in sorted(zones, key=lambda z: (price(z), z.name)):
+        for zone in sorted(zones, key=lambda z: (sign * price(z), z.name)):
             room = max(zone.capacity_remaining, 0)
             take = min(remaining, room)
             if take > 0:
@@ -414,7 +438,10 @@ class Autoscaler:
 
     @staticmethod
     def _distribute_release(
-        count: int, zones: Sequence[ZoneView], spot_allowed: bool = True
+        count: int,
+        zones: Sequence[ZoneView],
+        spot_allowed: bool = True,
+        prefer_cheapest: bool = False,
     ) -> Dict[str, int]:
         """Release from the most expensive zones first.
 
@@ -422,17 +449,21 @@ class Autoscaler:
         in (spot normally, on-demand when spot requests are closed).  Only
         *releasable* instances count, so a pricey zone whose fleet is pinned
         by live pipelines is skipped and the release spills over to the next
-        zone instead of silently no-oping.
+        zone instead of silently no-oping.  ``prefer_cheapest`` inverts the
+        ordering (the ``"priciest"`` arbitrage mode sheds cheap-zone
+        capacity first).
         """
         if not zones:
             return {}
+
+        sign = 1.0 if prefer_cheapest else -1.0
 
         def price(zone: ZoneView) -> float:
             return zone.spot_price if spot_allowed else zone.on_demand_price
 
         release: Dict[str, int] = {}
         remaining = count
-        for zone in sorted(zones, key=lambda z: (-price(z), z.name)):
+        for zone in sorted(zones, key=lambda z: (sign * price(z), z.name)):
             take = min(remaining, max(zone.releasable, 0))
             if take > 0:
                 release[zone.name] = take
@@ -475,6 +506,7 @@ def make_autoscaler(
     max_instances: int = 32,
     cooldown: float = 60.0,
     scale_down_cooldown: Optional[float] = None,
+    arbitrage: str = "cheapest",
     **policy_params,
 ) -> Autoscaler:
     """Convenience constructor: policy by name plus autoscaler bounds."""
@@ -484,4 +516,5 @@ def make_autoscaler(
         max_instances=max_instances,
         cooldown=cooldown,
         scale_down_cooldown=scale_down_cooldown,
+        arbitrage=arbitrage,
     )

@@ -109,6 +109,13 @@ class DeviceMapper:
         self.zone_of = zone_of
         self.cache_weights = cache_weights
         self.timers = timers if timers is not None else NULL_TIMERS
+        #: During a zone-outage evacuation the intra-zone clustering
+        #: preference is suspended: re-placing the lost pipelines on whatever
+        #: survives matters more than keeping pipelines zone-local, and the
+        #: surviving fleet rarely has a whole pipeline's worth of free
+        #: devices in any single zone anyway.  Toggled by the serving system
+        #: (see ``SpotServeSystem.handle_zone_outage``).
+        self.evacuation_mode = False
         # Per-round reuse-weight cache, valid only while one map_devices call
         # runs (config, inheritance and context state are fixed inside it).
         self._round_weights: Optional[Dict[Tuple[DeviceId, TopologyPosition], float]] = None
@@ -467,12 +474,15 @@ class DeviceMapper:
         ``zone_of`` each leftover position prefers a device from the zone
         that already dominates its data-parallel pipeline, so fresh
         placements cluster pipelines inside zones instead of striping them
-        across the slow inter-zone links.
+        across the slow inter-zone links.  In ``evacuation_mode`` the zone
+        preference is suspended (plain zip again): during a fleet evacuation
+        the placement must not fight for zone locality that no longer
+        exists.
         """
         assigned_positions = set(placement.values())
         free_positions = [p for p in positions if p not in assigned_positions]
         free_devices = [d for d in devices if d not in placement]
-        if self.zone_of is None:
+        if self.zone_of is None or self.evacuation_mode:
             for device_id, position in zip(free_devices, free_positions):
                 placement[device_id] = position
             return

@@ -103,6 +103,13 @@ class MigrationPlanner:
         self.storage_bandwidth = storage_bandwidth
         self.engine_restart_time = engine_restart_time
         self.timers = timers if timers is not None else NULL_TIMERS
+        #: During a zone-outage evacuation the same-zone source preference is
+        #: suspended: the richest context sources are the doomed zone itself,
+        #: and every pull out of it is cross-zone by definition, so ranking
+        #: sources by zone locality would only starve the evacuation of its
+        #: best sources.  Toggled by the serving system alongside
+        #: ``DeviceMapper.evacuation_mode``.
+        self.evacuation_mode = False
 
     # ------------------------------------------------------------------
     # Public API
@@ -478,12 +485,15 @@ class MigrationPlanner:
         Sources on the same instance as *destination* are preferred, then
         sources in the same availability zone (when the network model knows
         zones), then everything else -- cross-zone pulls ride the slowest
-        link tier, so they are the last resort.  Portions nobody holds are
-        attributed to storage (``source=None``).
+        link tier, so they are the last resort.  In ``evacuation_mode`` the
+        zone tier is dropped (cross-zone sources rank equal to local ones):
+        an evacuation *must* pull context out of the dying zone before it
+        disappears.  Portions nobody holds are attributed to storage
+        (``source=None``).
         """
         pieces: List[Tuple[Optional[DeviceId], float]] = []
         remaining = [needed]
-        zone_of = self.network.zone_of
+        zone_of = self.network.zone_of if not self.evacuation_mode else None
 
         def source_rank(item: Tuple[Tuple[float, float], DeviceId]) -> Tuple:
             _, device_id = item

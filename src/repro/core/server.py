@@ -180,11 +180,15 @@ class ServingSystemBase:
         self._arrival_token_sizes: Tuple[int, int] = (0, 0)
         self._arrival_order_major: int = 0
         self._submitted_requests: int = 0
+        self._arrived_requests: int = 0
         self._initialized_instances: set = set()
         self._migration_until: float = 0.0
         self._reconfig_pending: bool = False
         self._replan_after_migration: bool = False
         self._pending_deadlines: Dict[str, float] = {}
+        #: Zone -> reclaim deadline while a zone-outage warning is active
+        #: (instances becoming ready in such a zone are doomed on arrival).
+        self._zone_doom_deadlines: Dict[str, float] = {}
 
         self._register_handlers()
 
@@ -195,6 +199,7 @@ class ServingSystemBase:
         self.simulator.on(EventType.REQUEST_ARRIVAL, self._on_request_arrival)
         self.simulator.on(EventType.PREEMPTION_NOTICE, self._on_preemption_notice)
         self.simulator.on(EventType.PREEMPTION_FINAL, self._on_preemption_final)
+        self.simulator.on(EventType.ZONE_OUTAGE, self._on_zone_outage)
         self.simulator.on(EventType.ACQUISITION_READY, self._on_acquisition_ready)
         self.simulator.on(EventType.BATCH_COMPLETION, self._on_batch_completion)
         self.simulator.on(EventType.RECONFIGURATION, self._on_reconfiguration)
@@ -313,6 +318,7 @@ class ServingSystemBase:
     # ------------------------------------------------------------------
     def _on_request_arrival(self, event: Event) -> None:
         request: Request = event.payload
+        self._arrived_requests += 1
         self._arrival_times.append(request.arrival_time)
         self.request_queue.enqueue(request)
         self._dispatch()
@@ -322,6 +328,12 @@ class ServingSystemBase:
         deadline: float = event.payload["deadline"]
         self.stats.preemption_notices += 1
         self.instance_manager.on_preemption_notice(event)
+        # An instance can be doomed twice (zone-outage warning, then an
+        # individual trace preemption); the *earliest* deadline wins or the
+        # JIT arranger would budget the evacuation past the real reclaim.
+        existing = self._pending_deadlines.get(instance.instance_id)
+        if existing is not None and existing < deadline:
+            deadline = existing
         self._pending_deadlines[instance.instance_id] = deadline
         self.handle_preemption_notice(instance, deadline)
 
@@ -336,7 +348,46 @@ class ServingSystemBase:
         instance: Instance = event.payload["instance"]
         self.stats.acquisitions += 1
         self.instance_manager.on_acquisition_ready(event)
+        doom_deadline = self._zone_doom_deadlines.get(instance.zone)
+        if doom_deadline is not None:
+            # The zone is already under an outage warning: the newcomer gets
+            # no individual preemption notice, so doom it on arrival.
+            self.instance_manager.mark_doomed(instance.instance_id, doom_deadline)
+            self._pending_deadlines[instance.instance_id] = doom_deadline
         self.handle_acquisition_ready(instance)
+
+    def _on_zone_outage(self, event: Event) -> None:
+        """Shared zone-outage bookkeeping, then delegate to the hook.
+
+        ``"warning"`` dooms the whole zone (on-demand instances included --
+        they get no per-instance preemption notice); ``"down"`` drops the
+        instances the outage killed and tears down every pipeline that
+        referenced one, re-queueing the interrupted requests so none is
+        lost; ``"restored"`` is bookkeeping-free.  Subclasses react (replan,
+        evacuate) in :meth:`handle_zone_outage`.
+        """
+        payload = event.payload
+        zone: str = payload["zone"]
+        phase: str = payload["phase"]
+        if phase == "warning":
+            deadline: float = payload["start"]
+            self._zone_doom_deadlines[zone] = deadline
+            for instance in self.instance_manager.on_zone_outage_warning(zone, deadline):
+                self._pending_deadlines[instance.instance_id] = deadline
+        elif phase == "down":
+            self._zone_doom_deadlines.pop(zone, None)
+            self.stats.zone_outages += 1
+            dead = self.instance_manager.on_zone_outage_down(zone)
+            lost_ids = {instance.instance_id for instance in dead}
+            for instance in dead:
+                self._pending_deadlines.pop(instance.instance_id, None)
+            self._teardown_pipelines_using(lost_ids)
+            for instance in dead:
+                self.meta_context.drop_instance(instance.instance_id)
+        self.handle_zone_outage(zone, phase, payload)
+
+    def handle_zone_outage(self, zone: str, phase: str, payload: Dict) -> None:
+        """React to a zone-outage phase (subclasses override)."""
 
     def _on_workload_check(self, event: Event) -> None:
         self._run_autoscaler()
@@ -378,7 +429,16 @@ class ServingSystemBase:
             ZoneView(
                 name=name,
                 alive_instances=self.provider.alive_in_zone(name),
-                capacity_remaining=self.provider.capacity_remaining(name),
+                # A zone under an outage warning still *sells* capacity (the
+                # provider only zeroes it inside the window), but buying
+                # there would burn the acquire budget on instances that die
+                # at the outage start -- the evacuation's back-fill must
+                # land in surviving zones, so doomed zones read as full.
+                capacity_remaining=(
+                    0
+                    if name in self._zone_doom_deadlines
+                    else self.provider.capacity_remaining(name)
+                ),
                 spot_price=self.provider.spot_price(name, now),
                 on_demand_price=self.provider.on_demand_price(name, now),
                 releasable_instances=releasable.get(name, 0),
@@ -612,9 +672,7 @@ class ServingSystemBase:
             if batch.size > max_size:
                 # The new configuration cannot hold the whole batch: drop its
                 # cache and requeue the member requests.
-                batch.drop_cache()
-                self.request_queue.enqueue_front(batch.requests)
-                self.stats.rerouted_batches += 1
+                self._reroute_batch(batch)
                 return self._next_batch_for(pipeline)
             return batch, batch.cache_preserved and batch.committed_tokens > 0
         batch = self.request_queue.next_batch(
@@ -632,6 +690,66 @@ class ServingSystemBase:
             payload=(pipeline, batch),
         )
         self._completion_events[id(pipeline)] = event
+
+    def _reroute_batch(self, batch: Batch) -> None:
+        """Drop an interrupted batch's cache and put its requests back in line.
+
+        The requests lose their decoding progress but are never lost -- this
+        is the re-queue half of the request-conservation invariant (see
+        :meth:`unfinished_request_count`).
+        """
+        batch.drop_cache()
+        self.request_queue.enqueue_front(batch.requests)
+        self.stats.rerouted_batches += 1
+        self.stats.requests_rerouted += batch.size
+
+    def _teardown_pipelines_using(self, instance_ids: set) -> List[InferencePipeline]:
+        """Interrupt and remove every pipeline that uses one of *instance_ids*.
+
+        In-flight batches are re-queued without their cache (the instances
+        are gone, so the cache is unrecoverable).  Returns the pipelines
+        that were torn down.
+        """
+        if not instance_ids:
+            return []
+        affected = [
+            pipeline
+            for pipeline in self.pipelines
+            if any(pipeline.uses_instance(i) for i in instance_ids)
+        ]
+        if not affected:
+            return []
+        now = self.simulator.now
+        for pipeline in affected:
+            event = self._completion_events.pop(id(pipeline), None)
+            if event is not None:
+                event.cancel()
+            batch = pipeline.interrupt(now, preserve_cache=False)
+            if batch is not None:
+                self._reroute_batch(batch)
+        torn_down = set(map(id, affected))
+        self.pipelines = [p for p in self.pipelines if id(p) not in torn_down]
+        return affected
+
+    def unfinished_request_count(self) -> int:
+        """Submitted requests that are still somewhere in the system.
+
+        Counts the queue backlog, the in-flight batches, the interrupted
+        batches waiting to resume, and submitted requests whose arrival
+        event has not fired yet (pre-scheduled or armed by the streaming
+        source).  Request conservation -- the invariant the zone-outage
+        regression suite pins -- then holds at *any* simulation instant::
+
+            submitted == completed + unfinished + stats.requests_dropped
+        """
+        inflight = sum(
+            pipeline.current_batch.size
+            for pipeline in self.pipelines
+            if pipeline.current_batch is not None
+        )
+        resumable = sum(batch.size for batch in self._resume_batches)
+        unarrived = self._submitted_requests - self._arrived_requests
+        return self.request_queue.pending + inflight + resumable + unarrived
 
     def _interrupt_all_pipelines(self, preserve_cache: bool) -> List[Batch]:
         """Interrupt every busy pipeline, returning the interrupted batches."""
@@ -664,6 +782,10 @@ class ServingSystemBase:
             else:
                 batch.drop_cache()
                 self.request_queue.enqueue_front(batch.requests)
+                # Not counted in ``rerouted_batches`` (pre-outage golden
+                # digests pin that counter's historical semantics), but the
+                # requests did lose their progress.
+                self.stats.requests_rerouted += batch.size
         self.pipelines = []
         self.current_config = None
 
@@ -716,9 +838,7 @@ class ServingSystemBase:
         for batch in kept:
             self._resume_batches.append(batch)
         for batch in discarded:
-            batch.drop_cache()
-            self.request_queue.enqueue_front(batch.requests)
-            self.stats.rerouted_batches += 1
+            self._reroute_batch(batch)
 
         old_config = self.current_config
         self.pipelines = []
@@ -791,6 +911,11 @@ class SpotServeSystem(ServingSystemBase):
         )
         self.interruption_arranger = InterruptionArranger(self.latency_model)
         self._downscale_votes = 0
+        #: Zones currently under an outage (warning or dark).  While any is
+        #: active the mapper and planner run in evacuation mode: intra-zone
+        #: placement preference and same-zone source ranking are suspended so
+        #: the lost pipelines re-place across whatever survives.
+        self._evacuating_zones: set = set()
         if self.options.memory_optimized_migration:
             migration_buffer = self.options.max_buffer_bytes
         else:
@@ -804,27 +929,42 @@ class SpotServeSystem(ServingSystemBase):
     # Event hooks
     # ------------------------------------------------------------------
     def handle_preemption_notice(self, instance: Instance, deadline: float) -> None:
-        self._plan_reconfiguration(reason="preemption", deadline=deadline)
+        self._plan_reconfiguration(reason="preemption")
 
     def handle_preemption_final(self, instance: Instance) -> None:
         # If the instance is still referenced by a running pipeline (the
         # reconfiguration did not finish in time), interrupt those pipelines
         # and requeue their requests without the lost cache.
-        affected = [p for p in self.pipelines if p.uses_instance(instance.instance_id)]
+        affected = self._teardown_pipelines_using({instance.instance_id})
         if not affected:
             return
-        now = self.simulator.now
-        for pipeline in affected:
-            event = self._completion_events.pop(id(pipeline), None)
-            if event is not None:
-                event.cancel()
-            batch = pipeline.interrupt(now, preserve_cache=False)
-            if batch is not None:
-                batch.drop_cache()
-                self.request_queue.enqueue_front(batch.requests)
-                self.stats.rerouted_batches += 1
-        self.pipelines = [p for p in self.pipelines if not p.uses_instance(instance.instance_id)]
         self._plan_reconfiguration(reason="preemption-final")
+
+    def handle_zone_outage(self, zone: str, phase: str, payload: Dict) -> None:
+        """Evacuate the fleet out of a dying zone (the tentpole fault path).
+
+        The warning phase already doomed every instance of the zone (they
+        are out of :meth:`~repro.cloud.manager.InstanceManager
+        .stable_instances`), so re-planning now re-places the deployment on
+        the surviving zones while the grace window lets context migrate out;
+        the down phase handles the unannounced case (pipelines torn down by
+        the shared bookkeeping, requests re-queued) and re-plans on whatever
+        is left.  Mapper and planner stay in evacuation mode until the zone
+        is restored.
+        """
+        if phase == "restored":
+            self._evacuating_zones.discard(zone)
+            if not self._evacuating_zones:
+                self.device_mapper.evacuation_mode = False
+                self.migration_planner.evacuation_mode = False
+            return
+        self._evacuating_zones.add(zone)
+        self.device_mapper.evacuation_mode = True
+        self.migration_planner.evacuation_mode = True
+        if phase == "warning":
+            self._plan_reconfiguration(reason="zone-outage")
+        else:
+            self._plan_reconfiguration(reason="zone-outage-final")
 
     def handle_acquisition_ready(self, instance: Instance) -> None:
         self._plan_reconfiguration(reason="acquisition")
@@ -881,7 +1021,11 @@ class SpotServeSystem(ServingSystemBase):
             available, arrival_rate, max_instances=available + extra
         )
 
-    def _plan_reconfiguration(self, reason: str, deadline: Optional[float] = None) -> None:
+    def _plan_reconfiguration(self, reason: str) -> None:
+        # Reclaim deadlines are not passed in: _prepare_transition reads the
+        # merged ``_pending_deadlines`` (kept current by the notice and
+        # zone-outage bookkeeping), so every trigger budgets against the
+        # earliest real deadline.
         if self._reconfig_pending:
             self._replan_after_migration = True
             return
@@ -938,7 +1082,12 @@ class SpotServeSystem(ServingSystemBase):
                     ),
                 )
             if budget > 0:
-                self.instance_manager.alloc(budget)
+                # Never buy replacement capacity in a zone that is under an
+                # outage warning -- every grant there dies at the outage
+                # start (the autoscaler path masks such zones the same way).
+                self.instance_manager.alloc(
+                    budget, avoid_zones=tuple(self._zone_doom_deadlines)
+                )
         else:
             release = available - target.config.num_instances(self.gpus_per_instance)
             if release > 0:
@@ -1052,7 +1201,7 @@ class SpotServeSystem(ServingSystemBase):
         effective_deadline = self.interruption_arranger.merge_overlapping_deadlines(
             list(self._pending_deadlines.values())
         )
-        if reason in ("preemption", "preemption-final"):
+        if reason in ("preemption", "preemption-final", "zone-outage", "zone-outage-final"):
             # The engine launch of any fresh instance cannot be hidden behind
             # the grace period, so it adds to the stall.
             stall_time = max(plan.migration_time, launch_overhead)

@@ -73,6 +73,15 @@ class ServingStats:
     acquisitions: int = 0
     interrupted_batches: int = 0
     rerouted_batches: int = 0
+    #: Whole-availability-zone outages observed (``ZONE_OUTAGE`` down phases).
+    zone_outages: int = 0
+    #: Requests whose in-flight batch was torn down and re-queued (they lose
+    #: cached progress but are never lost -- the conservation invariant).
+    requests_rerouted: int = 0
+    #: Requests dropped outright.  SpotServe never drops a request -- every
+    #: interrupted batch is re-queued -- so this stays zero and exists as the
+    #: accounting bucket the evacuation-conservation regression pins.
+    requests_dropped: int = 0
     config_timeline: List[Tuple[float, ParallelConfig]] = field(default_factory=list)
     #: Streaming aggregates, filled by :meth:`record_completion`.
     _completed_count: int = field(default=0, init=False, repr=False)
@@ -172,4 +181,27 @@ class ServingStats:
         between two supposedly identical runs shows up.
         """
         summary = self.summary()
+        return "\n".join(f"{key}={summary[key]!r}" for key in sorted(summary))
+
+    def extended_summary(self) -> Dict[str, object]:
+        """:meth:`summary` plus the fault-injection counters.
+
+        The zone-outage / request-conservation counters live here instead of
+        in :meth:`summary` so the golden sha256 digests pinned before the
+        outage subsystem existed stay byte-identical; outage goldens pin the
+        digest of :meth:`extended_summary_text` instead.
+        """
+        summary = self.summary()
+        summary.update(
+            {
+                "zone_outages": self.zone_outages,
+                "requests_rerouted": self.requests_rerouted,
+                "requests_dropped": self.requests_dropped,
+            }
+        )
+        return summary
+
+    def extended_summary_text(self) -> str:
+        """Byte-comparable rendering of :meth:`extended_summary`."""
+        summary = self.extended_summary()
         return "\n".join(f"{key}={summary[key]!r}" for key in sorted(summary))

@@ -7,36 +7,54 @@ from .metrics import (
     improvement_factor,
     summarize_latencies,
 )
+from .policy_bench import (
+    BENCH_SCENARIOS,
+    POLICY_VARIANTS,
+    run_policy_benchmark,
+)
 from .runner import (
     DEFAULT_DRAIN_TIME,
     ExperimentResult,
     run_comparison,
+    run_scenario_experiment,
     run_serving_experiment,
 )
 from .scenarios import (
     COMPARED_SYSTEMS,
     STABLE_MODELS,
     STABLE_TRACES,
+    MultiZoneScenario,
     Scenario,
     fluctuating_workload_scenario,
+    heavy_traffic_scenario,
+    multi_zone_fluctuating_scenario,
     stable_workload_scenario,
+    zone_outage_scenario,
 )
 
 __all__ = [
     "ABLATION_ORDER",
+    "BENCH_SCENARIOS",
     "COMPARED_SYSTEMS",
     "DEFAULT_DRAIN_TIME",
     "ExperimentResult",
     "LatencyStats",
+    "MultiZoneScenario",
+    "POLICY_VARIANTS",
     "REPORTED_PERCENTILES",
     "STABLE_MODELS",
     "STABLE_TRACES",
     "Scenario",
     "ablation_options",
     "fluctuating_workload_scenario",
+    "heavy_traffic_scenario",
     "improvement_factor",
+    "multi_zone_fluctuating_scenario",
     "run_comparison",
+    "run_policy_benchmark",
+    "run_scenario_experiment",
     "run_serving_experiment",
     "stable_workload_scenario",
     "summarize_latencies",
+    "zone_outage_scenario",
 ]

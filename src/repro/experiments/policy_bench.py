@@ -1,0 +1,178 @@
+"""Head-to-head autoscaling-policy benchmark (the Figure-8-style sweep).
+
+PR 1 added three demand-driven sizing policies (target-utilization,
+queue-latency, cost-aware) plus the cheapest/priciest zone arbitrage, but
+they were never compared against each other.  This module sweeps every
+policy variant through the three canonical multi-zone stress scenarios --
+the fluctuating (MAF-like) workload, the >=heavy-traffic event-core stress
+and the zone-outage fault-injection scenario -- under *identical* seeded
+workloads and traces, and distils each run into one row: monetary cost, p99
+latency and requests left unserved (``requests_unserved`` -- with
+SpotServe's conservation guarantee these are still queued at the cutoff,
+never silently dropped; ``stats.requests_dropped`` stays zero).
+
+``benchmarks/perf/run_perf.py --policy-benchmark`` embeds the rows into
+``BENCH_adaptation.json`` (CI uploads it as an artifact) and
+``benchmarks/test_figure9_policies.py`` renders the comparison table.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .runner import ExperimentResult, run_scenario_experiment
+from .scenarios import (
+    heavy_traffic_scenario,
+    multi_zone_fluctuating_scenario,
+    zone_outage_scenario,
+)
+
+#: Policy variants compared head to head.  ``cost-aware-priciest`` runs the
+#: same sizing policy as ``cost-aware`` but inverts the zone arbitrage
+#: (acquire calm expensive zones first), isolating the arbitrage direction's
+#: contribution from the sizing rule's.
+POLICY_VARIANTS: Dict[str, Dict[str, str]] = {
+    "target-utilization": {"autoscale_policy": "target-utilization"},
+    "queue-latency": {"autoscale_policy": "queue-latency"},
+    "cost-aware": {"autoscale_policy": "cost-aware"},
+    "cost-aware-priciest": {"autoscale_policy": "cost-aware", "arbitrage": "priciest"},
+}
+
+#: Scenarios every policy runs through (same seeds, same traces).
+BENCH_SCENARIOS: Tuple[str, ...] = ("fluctuating", "heavy-traffic", "zone-outage")
+
+#: Default request volume of the heavy-traffic cell.  Smaller than the perf
+#: harness's 100k so a full 4-policy sweep stays interactive; override via
+#: ``run_policy_benchmark(heavy_target_requests=...)`` for the full load.
+DEFAULT_HEAVY_TARGET_REQUESTS = 50_000
+
+
+def build_cell(
+    scenario_name: str,
+    policy_name: str,
+    heavy_target_requests: int = DEFAULT_HEAVY_TARGET_REQUESTS,
+    seed: int = 0,
+):
+    """Build one (scenario, arrival process, drain time) benchmark cell."""
+    try:
+        variant = POLICY_VARIANTS[policy_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy variant {policy_name!r}; available: {sorted(POLICY_VARIANTS)}"
+        ) from None
+    policy = variant["autoscale_policy"]
+    if scenario_name == "fluctuating":
+        scenario, arrivals = multi_zone_fluctuating_scenario(
+            "OPT-6.7B", duration=600.0, seed=seed, autoscale_policy=policy
+        )
+        drain = 300.0
+    elif scenario_name == "heavy-traffic":
+        scenario, arrivals = heavy_traffic_scenario(
+            "OPT-6.7B",
+            duration=1200.0,
+            seed=seed,
+            target_requests=heavy_target_requests,
+            autoscale_policy=policy,
+        )
+        drain = 300.0
+    elif scenario_name == "zone-outage":
+        scenario, arrivals = zone_outage_scenario(
+            "OPT-6.7B", duration=900.0, seed=seed, autoscale_policy=policy
+        )
+        drain = 300.0
+    else:
+        raise KeyError(
+            f"unknown benchmark scenario {scenario_name!r}; available: {BENCH_SCENARIOS}"
+        )
+    arbitrage = variant.get("arbitrage", "cheapest")
+    if arbitrage != scenario.arbitrage:
+        scenario = replace(scenario, arbitrage=arbitrage)
+    return scenario, arrivals, drain
+
+
+def run_cell(
+    scenario_name: str,
+    policy_name: str,
+    heavy_target_requests: int = DEFAULT_HEAVY_TARGET_REQUESTS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run one policy x scenario cell end to end."""
+    scenario, arrivals, drain = build_cell(
+        scenario_name, policy_name, heavy_target_requests=heavy_target_requests, seed=seed
+    )
+    return run_scenario_experiment(scenario, arrivals, drain_time=drain)
+
+
+def _finite(value: float) -> Optional[float]:
+    """JSON-safe float (NaN/inf become None)."""
+    return round(value, 4) if math.isfinite(value) else None
+
+
+def result_row(scenario_name: str, policy_name: str, result: ExperimentResult) -> Dict:
+    """Distil one cell's :class:`ExperimentResult` into a flat report row."""
+    stats = result.stats
+    return {
+        "scenario": scenario_name,
+        "policy": policy_name,
+        "total_cost": round(result.total_cost, 4),
+        "avg_latency": _finite(result.latency.mean),
+        "p99_latency": _finite(result.latency.p99),
+        "submitted_requests": result.submitted_requests,
+        "completed_requests": result.completed_requests,
+        "requests_unserved": result.unserved_requests,
+        "requests_rerouted": stats.requests_rerouted,
+        "zone_outages": stats.zone_outages,
+        "preemption_notices": stats.preemption_notices,
+        "autoscale_actions": len(stats.autoscale_actions),
+        "reconfigurations": len(stats.reconfigurations),
+        "cost_per_token": _finite(result.cost_per_token),
+    }
+
+
+def _cell_worker(job: Tuple[str, str, int, int]) -> Dict:
+    """Worker entry point: run one cell and return its row (picklable)."""
+    scenario_name, policy_name, heavy_target_requests, seed = job
+    result = run_cell(
+        scenario_name,
+        policy_name,
+        heavy_target_requests=heavy_target_requests,
+        seed=seed,
+    )
+    return result_row(scenario_name, policy_name, result)
+
+
+def run_policy_benchmark(
+    policies: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    heavy_target_requests: int = DEFAULT_HEAVY_TARGET_REQUESTS,
+    seed: int = 0,
+) -> Dict:
+    """Sweep every policy through every scenario; returns the report payload.
+
+    Every cell replays the identical seeded workload and traces, so rows are
+    directly comparable across policies.  ``workers`` > 1 fans the cells
+    over a process pool (rows are identical to the serial sweep).
+    """
+    policies = list(policies if policies is not None else POLICY_VARIANTS)
+    scenarios = list(scenarios if scenarios is not None else BENCH_SCENARIOS)
+    jobs = [
+        (scenario_name, policy_name, heavy_target_requests, seed)
+        for scenario_name in scenarios
+        for policy_name in policies
+    ]
+    if workers is not None and workers > 1 and len(jobs) > 1:
+        with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
+            rows = pool.map(_cell_worker, jobs)
+    else:
+        rows = [_cell_worker(job) for job in jobs]
+    return {
+        "benchmark": "autoscaling-policy head-to-head",
+        "policies": policies,
+        "scenarios": scenarios,
+        "seed": seed,
+        "rows": rows,
+    }

@@ -61,6 +61,17 @@ class ExperimentResult:
         return self.completed_requests / self.submitted_requests
 
     @property
+    def unserved_requests(self) -> int:
+        """Requests submitted but not completed by the end of the run.
+
+        With SpotServe's conservation guarantee these are never silently
+        dropped -- they are still queued or in flight when the simulation
+        stops -- but from the client's point of view they went unserved, so
+        the policy benchmark reports them as its "requests dropped" column.
+        """
+        return max(self.submitted_requests - self.completed_requests, 0)
+
+    @property
     def cost_per_token(self) -> float:
         """USD per generated output token (Figure 7's y-axis)."""
         if self.tokens_generated <= 0:
@@ -209,6 +220,35 @@ def run_serving_experiment(
         cost_by_zone=tracker.cost_by_zone(now),
         perf=system.perf.summary(),
         dispatched_events=simulator.dispatched_events,
+    )
+
+
+def run_scenario_experiment(
+    scenario,
+    arrival_process: ArrivalProcess,
+    drain_time: float = DEFAULT_DRAIN_TIME,
+    system_cls: Type[ServingSystemBase] = SpotServeSystem,
+    options: Optional[SpotServeOptions] = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run a :class:`~repro.experiments.scenarios.MultiZoneScenario` end to end.
+
+    Thin convenience over :func:`run_serving_experiment` for the multi-zone
+    scenario objects (fluctuating / heavy-traffic / zone-outage): wires the
+    zones, enables extra spot requests (the autoscaler's growth channel) and
+    applies the scenario's options.  Extra keyword arguments are forwarded.
+    """
+    return run_serving_experiment(
+        system_cls,
+        scenario.model_name,
+        trace=None,
+        arrival_process=arrival_process,
+        duration=scenario.duration,
+        drain_time=drain_time,
+        options=options if options is not None else scenario.options(),
+        zones=scenario.zones,
+        allow_spot_requests=True,
+        **kwargs,
     )
 
 

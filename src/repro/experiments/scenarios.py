@@ -15,7 +15,7 @@ from ..baselines.reparallelization import ReparallelizationSystem
 from ..baselines.rerouting import RequestReroutingSystem
 from ..cloud.pricing import PriceSchedule
 from ..cloud.trace import AvailabilityTrace, TraceEvent, TraceEventKind, get_trace
-from ..cloud.zone import ZoneSpec
+from ..cloud.zone import OutageWindow, ZoneSpec
 from ..core.server import ServingSystemBase, SpotServeOptions, SpotServeSystem
 from ..workload.arrival import GammaArrivals, TimeVaryingArrivals, default_rate_for
 from ..workload.maf import synthesize_maf_profile
@@ -123,6 +123,9 @@ class MultiZoneScenario:
     cooldown: float = 60.0
     allow_on_demand: bool = True
     retain_completed_requests: bool = True
+    #: Zone-arbitrage direction ("cheapest" acquires cheap zones first, the
+    #: default; "priciest" seeks the calm expensive zones instead).
+    arbitrage: str = "cheapest"
 
     @property
     def initial_instances(self) -> int:
@@ -135,6 +138,7 @@ class MultiZoneScenario:
             "min_instances": self.min_instances,
             "max_instances": self.max_instances,
             "cooldown": self.cooldown,
+            "arbitrage": self.arbitrage,
         }
         if self.autoscale_policy == "cost-aware":
             # The policy's probe cap must reach the scenario's fleet bound,
@@ -315,6 +319,104 @@ def heavy_traffic_scenario(
         max_instances=36,
         cooldown=60.0,
         retain_completed_requests=False,
+    )
+    return scenario, rescaled.to_arrival_process(cv=6.0, seed=seed)
+
+
+def zone_outage_market(
+    duration: float = 900.0,
+    outage_start: float = 300.0,
+    outage_duration: float = 360.0,
+    warning: float = 30.0,
+) -> Tuple[ZoneSpec, ...]:
+    """Three zones where the cheapest (and largest) one goes completely dark.
+
+    * ``us-east-1a`` -- cheapest and hosts the biggest share of the initial
+      fleet, but suffers a **full-zone outage**: every instance in it is
+      reclaimed at ``outage_start`` (announced ``warning`` seconds ahead,
+      mirroring the spot grace period) and the zone stays dark for
+      ``outage_duration`` seconds.  A trace ``ACQUIRE`` after the window
+      models capacity coming back once the zone recovers.
+    * ``us-east-1b`` -- mid-priced, calm, with enough spare capacity to
+      absorb most of the evacuated fleet.
+    * ``us-west-2a`` -- expensive, stable "insurance" zone.
+    """
+    zone_a = ZoneSpec(
+        name="us-east-1a",
+        trace=AvailabilityTrace(
+            name="1a-outage",
+            initial_instances=4,
+            events=[
+                TraceEvent(outage_start + outage_duration + 60.0, TraceEventKind.ACQUIRE, 2),
+            ],
+            duration=duration,
+        ),
+        capacity=8,
+        spot_pricing=PriceSchedule.flat(1.5),
+        outages=(
+            OutageWindow(start=outage_start, duration=outage_duration, warning=warning),
+        ),
+    )
+    zone_b = ZoneSpec(
+        name="us-east-1b",
+        trace=AvailabilityTrace(
+            name="1b-outage",
+            initial_instances=3,
+            events=[],
+            duration=duration,
+        ),
+        capacity=8,
+        spot_pricing=PriceSchedule.flat(1.9),
+    )
+    zone_c = ZoneSpec(
+        name="us-west-2a",
+        trace=AvailabilityTrace(
+            name="2a-outage",
+            initial_instances=2,
+            events=[],
+            duration=duration,
+        ),
+        capacity=5,
+        spot_pricing=PriceSchedule.flat(2.6),
+        on_demand_pricing=PriceSchedule.flat(4.4),
+    )
+    return (zone_a, zone_b, zone_c)
+
+
+def zone_outage_scenario(
+    model_name: str = "OPT-6.7B",
+    duration: float = 900.0,
+    seed: int = 0,
+    rate_multiplier: float = 1.2,
+    autoscale_policy: str = "cost-aware",
+    outage_start: float = 300.0,
+    outage_duration: float = 360.0,
+    warning: float = 30.0,
+) -> Tuple[MultiZoneScenario, TimeVaryingArrivals]:
+    """The worst-case fault scenario: a whole availability zone goes dark.
+
+    The fleet starts with its largest share in the cheapest zone; mid-run
+    that zone suffers a full outage (with a spot-style advance warning by
+    default), forcing the serving system to *evacuate*: doomed pipelines are
+    re-placed across the surviving zones (cross-zone migration sources
+    allowed, intra-zone preference suspended) while the autoscaler back-fills
+    the lost capacity from the zones that still have room.  Requests are
+    never lost -- the conservation regression pins ``submitted == completed +
+    unfinished + dropped`` with ``dropped == 0``.
+    """
+    profile = synthesize_maf_profile(duration=duration, seed=seed)
+    rescaled = profile.rescaled(default_rate_for(model_name) * rate_multiplier)
+    scenario = MultiZoneScenario(
+        model_name=model_name,
+        zones=zone_outage_market(
+            duration,
+            outage_start=outage_start,
+            outage_duration=outage_duration,
+            warning=warning,
+        ),
+        duration=duration,
+        seed=seed,
+        autoscale_policy=autoscale_policy,
     )
     return scenario, rescaled.to_arrival_process(cv=6.0, seed=seed)
 

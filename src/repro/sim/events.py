@@ -34,6 +34,7 @@ class EventType(Enum):
     REQUEST_ARRIVAL = "request_arrival"
     PREEMPTION_NOTICE = "preemption_notice"
     PREEMPTION_FINAL = "preemption_final"
+    ZONE_OUTAGE = "zone_outage"
     ACQUISITION_REQUESTED = "acquisition_requested"
     ACQUISITION_READY = "acquisition_ready"
     BATCH_COMPLETION = "batch_completion"

@@ -1,0 +1,282 @@
+"""Property-based (seeded, randomized) invariants of the autoscaling layer.
+
+Instead of hand-picked markets, these tests sweep hundreds of *random*
+multi-zone markets -- random zone counts, capacities, prices, fleet states
+and demand signals -- and assert the properties every policy and the zone
+arbitrage must uphold on all of them:
+
+* **capacity**: per-zone acquisitions never exceed the zone's remaining
+  capacity; per-zone releases never exceed what is actually releasable;
+* **bounds**: the clamped desired fleet always lands in
+  ``[min_instances, max_instances]`` and the acquire/release totals never
+  overshoot the desired delta;
+* **arbitrage optimality**: the cheapest-first arbitrage never places an
+  instance in a pricier zone while a strictly cheaper zone still has free
+  capacity (and the ``"priciest"`` mode upholds the mirror image);
+* **determinism**: decisions are a pure function of (signal, prices,
+  configuration) -- two identically configured autoscalers given the same
+  random market sequence produce byte-identical decisions.
+
+Every sweep is seeded, so failures reproduce exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.autoscaler import (
+    ARBITRAGE_MODES,
+    Autoscaler,
+    AutoscaleSignal,
+    CostAwarePolicy,
+    QueueLatencyPolicy,
+    TargetUtilizationPolicy,
+    ZoneView,
+    make_autoscaler,
+)
+from repro.core.config import ParallelConfig
+from repro.core.controller import ConfigEstimate
+
+#: Random markets per property sweep (seeded -- deterministic across runs).
+MARKETS = 300
+
+
+class StubSpace:
+    """Duck-typed ConfigurationSpace: a ladder of data-parallel configs."""
+
+    def feasible_configs(self, cap):
+        return [ParallelConfig(d, 1, 4, 2) for d in range(1, max(int(cap), 1) + 1)]
+
+
+class StubController:
+    """Duck-typed controller with a linear throughput model (0.4 req/s per
+    instance), enough for the cost-aware policy's sweep logic."""
+
+    config_space = StubSpace()
+
+    def estimate(self, config, rate):
+        n = config.data_degree
+        return ConfigEstimate(config, 1.0, 1.0, 0.4 * n, n)
+
+
+def make_policies():
+    return {
+        "target-utilization": TargetUtilizationPolicy(),
+        "queue-latency": QueueLatencyPolicy(),
+        "cost-aware": CostAwarePolicy(StubController()),
+    }
+
+
+def signal_stream(rng: np.random.Generator, count: int):
+    """A seeded stream of random markets on a *monotone* clock.
+
+    The clock must move forward (like a real simulation's) or the
+    autoscaler's cooldown window would judge most of the randomly-timed
+    signals as "in the past" and the sweep would mostly no-op.
+    """
+    time = 0.0
+    for _ in range(count):
+        time += float(rng.uniform(10.0, 120.0))
+        yield random_signal(rng, time)
+
+
+def random_signal(rng: np.random.Generator, time: float = 0.0) -> AutoscaleSignal:
+    """One random multi-zone market + serving snapshot."""
+    n_zones = int(rng.integers(1, 6))
+    zones = []
+    for index in range(n_zones):
+        alive = int(rng.integers(0, 9))
+        releasable = int(rng.integers(0, alive + 1))
+        zones.append(
+            ZoneView(
+                name=f"zone-{index}",
+                alive_instances=alive,
+                capacity_remaining=int(rng.integers(0, 9)),
+                spot_price=float(np.round(rng.uniform(0.5, 5.0), 2)),
+                on_demand_price=float(np.round(rng.uniform(2.0, 9.0), 2)),
+                releasable_instances=releasable,
+            )
+        )
+    current = int(rng.integers(0, 17))
+    return AutoscaleSignal(
+        time=time,
+        arrival_rate=float(rng.uniform(0.0, 8.0)),
+        serving_throughput=float(rng.uniform(0.0, 8.0)),
+        queue_depth=int(rng.integers(0, 300)),
+        current_instances=current,
+        gpus_per_instance=4,
+        pending_instances=int(rng.integers(0, 4)),
+        spot_requests_allowed=bool(rng.integers(0, 2)),
+        zones=tuple(zones),
+    )
+
+
+def fresh_autoscaler(policy_name: str, arbitrage: str = "cheapest") -> Autoscaler:
+    policy = make_policies()[policy_name]
+    return Autoscaler(
+        policy, min_instances=1, max_instances=24, cooldown=0.0, arbitrage=arbitrage
+    )
+
+
+@pytest.mark.parametrize("policy_name", ["target-utilization", "queue-latency", "cost-aware"])
+class TestRandomMarketInvariants:
+    def test_decisions_never_exceed_zone_capacity(self, policy_name):
+        rng = np.random.default_rng(1234)
+        autoscaler = fresh_autoscaler(policy_name)
+        for signal in signal_stream(rng, MARKETS):
+            decision = autoscaler.plan(signal)
+            by_zone = {zone.name: zone for zone in signal.zones}
+            for zone_name, count in decision.acquire.items():
+                assert count > 0
+                assert count <= by_zone[zone_name].capacity_remaining, (
+                    f"acquired {count} in {zone_name} with only "
+                    f"{by_zone[zone_name].capacity_remaining} capacity left"
+                )
+            for zone_name, count in decision.release.items():
+                assert count > 0
+                assert count <= by_zone[zone_name].releasable
+
+    def test_totals_respect_bounds_and_desired_delta(self, policy_name):
+        rng = np.random.default_rng(99)
+        autoscaler = fresh_autoscaler(policy_name)
+        for signal in signal_stream(rng, MARKETS):
+            decision = autoscaler.plan(signal)
+            assert autoscaler.min_instances <= decision.desired_instances
+            assert decision.desired_instances <= autoscaler.max_instances
+            committed = signal.current_instances + signal.pending_instances
+            total_acquired = sum(decision.acquire.values())
+            total_released = sum(decision.release.values())
+            assert not (decision.acquire and decision.release)
+            if total_acquired:
+                assert total_acquired <= decision.desired_instances - committed
+            if total_released:
+                assert total_released <= signal.current_instances - decision.desired_instances
+
+    def test_decisions_are_deterministic(self, policy_name):
+        # Two identically configured autoscalers fed the same seeded market
+        # sequence must agree action for action (stats, prices, seed fixed
+        # => decision fixed).
+        first = fresh_autoscaler(policy_name)
+        second = fresh_autoscaler(policy_name)
+        stream_a = signal_stream(np.random.default_rng(777), MARKETS)
+        stream_b = signal_stream(np.random.default_rng(777), MARKETS)
+        for signal_a, signal_b in zip(stream_a, stream_b):
+            assert signal_a == signal_b
+            decision_a = first.plan(signal_a)
+            decision_b = second.plan(signal_b)
+            assert decision_a.acquire == decision_b.acquire
+            assert decision_a.release == decision_b.release
+            assert decision_a.desired_instances == decision_b.desired_instances
+            assert decision_a.reason == decision_b.reason
+
+
+class TestArbitrageOptimality:
+    @staticmethod
+    def billed_price(zone: ZoneView, spot_allowed: bool) -> float:
+        return zone.spot_price if spot_allowed else zone.on_demand_price
+
+    def check_no_cheaper_feasible_zone_skipped(self, decision, signal):
+        """Cost-aware arbitrage property: if a zone received instances, every
+        strictly cheaper zone must already be saturated (full capacity
+        used), otherwise the decision overpaid."""
+        by_zone = {zone.name: zone for zone in signal.zones}
+        for zone_name in decision.acquire:
+            paid = self.billed_price(by_zone[zone_name], signal.spot_requests_allowed)
+            for other in signal.zones:
+                if other.name == zone_name:
+                    continue
+                other_price = self.billed_price(other, signal.spot_requests_allowed)
+                if other_price < paid:
+                    used = decision.acquire.get(other.name, 0)
+                    assert used == max(other.capacity_remaining, 0), (
+                        f"paid {paid} in {zone_name} while {other.name} at "
+                        f"{other_price} still had capacity "
+                        f"({used}/{other.capacity_remaining} used)"
+                    )
+
+    @pytest.mark.parametrize(
+        "policy_name", ["target-utilization", "queue-latency", "cost-aware"]
+    )
+    def test_cheapest_feasible_zone_always_wins(self, policy_name):
+        rng = np.random.default_rng(4321)
+        autoscaler = fresh_autoscaler(policy_name)
+        checked = 0
+        for signal in signal_stream(rng, MARKETS):
+            decision = autoscaler.plan(signal)
+            if decision.acquire:
+                checked += 1
+                self.check_no_cheaper_feasible_zone_skipped(decision, signal)
+        assert checked > 10, "the sweep must actually exercise acquisitions"
+
+    def test_priciest_mode_is_the_mirror_image(self):
+        rng = np.random.default_rng(86)
+        autoscaler = fresh_autoscaler("target-utilization", arbitrage="priciest")
+        checked = 0
+        for signal in signal_stream(rng, MARKETS):
+            decision = autoscaler.plan(signal)
+            by_zone = {zone.name: zone for zone in signal.zones}
+            for zone_name in decision.acquire:
+                paid = self.billed_price(by_zone[zone_name], signal.spot_requests_allowed)
+                for other in signal.zones:
+                    if other.name == zone_name:
+                        continue
+                    other_price = self.billed_price(other, signal.spot_requests_allowed)
+                    if other_price > paid:
+                        checked += 1
+                        assert decision.acquire.get(other.name, 0) == max(
+                            other.capacity_remaining, 0
+                        )
+        assert checked > 10
+
+    def test_release_comes_from_priciest_releasable_zones(self):
+        # The sizing policies shed at most one instance per round, so a
+        # release never spans zones through ``plan``; drive the arbitrage
+        # routine directly with random multi-instance releases instead.
+        rng = np.random.default_rng(55)
+        checked = 0
+        for signal in signal_stream(rng, MARKETS):
+            count = int(rng.integers(1, 12))
+            release = Autoscaler._distribute_release(
+                count, signal.zones, signal.spot_requests_allowed
+            )
+            by_zone = {zone.name: zone for zone in signal.zones}
+            assert sum(release.values()) <= count
+            for zone_name in release:
+                assert release[zone_name] <= by_zone[zone_name].releasable
+                freed_price = self.billed_price(
+                    by_zone[zone_name], signal.spot_requests_allowed
+                )
+                for other in signal.zones:
+                    if other.name == zone_name:
+                        continue
+                    other_price = self.billed_price(other, signal.spot_requests_allowed)
+                    if other_price > freed_price and other.releasable > 0:
+                        checked += 1
+                        assert release.get(other.name, 0) == other.releasable
+        assert checked > 10
+
+    def test_unknown_arbitrage_mode_rejected(self):
+        with pytest.raises(ValueError, match="arbitrage"):
+            make_autoscaler("target-utilization", arbitrage="median")
+        assert set(ARBITRAGE_MODES) == {"cheapest", "priciest"}
+
+
+class TestCostAwareNeverOverpays:
+    def test_cost_aware_full_stack_prefers_cheapest_zone(self):
+        """End-to-end: with the cost-aware policy behind the cheapest-first
+        arbitrage, a growth decision on a random market always fills the
+        cheapest zone that has room before touching any pricier one."""
+        rng = np.random.default_rng(2024)
+        autoscaler = Autoscaler(
+            CostAwarePolicy(StubController()),
+            min_instances=1,
+            max_instances=24,
+            cooldown=0.0,
+        )
+        grown = 0
+        helper = TestArbitrageOptimality()
+        for signal in signal_stream(rng, MARKETS):
+            decision = autoscaler.plan(signal)
+            if decision.acquire:
+                grown += 1
+                helper.check_no_cheaper_feasible_zone_skipped(decision, signal)
+        assert grown > 10
