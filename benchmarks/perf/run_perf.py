@@ -29,9 +29,12 @@ heap compaction, streaming arrivals, incremental stats) exists for.
 
 A ``zone-outage`` scenario keeps the fault-injection path (ZONE_OUTAGE
 events, fleet evacuation, conservation accounting) on the measured/guarded
-path, and ``--policy-benchmark`` appends the autoscaling-policy head-to-head
-sweep (cost / p99 / requests unserved per policy x scenario; see
-:mod:`repro.experiments.policy_bench`) to the BENCH JSON.
+path; an ``overload`` scenario does the same for the overload-control
+subsystem (admission hooks + deadline-aware queue shedding on a pinned
+fleet).  ``--policy-benchmark`` appends the autoscaling-policy head-to-head
+sweep plus the admission-policy overload sweep (cost / p99 / rejected /
+shed per variant; see :mod:`repro.experiments.policy_bench`) to the BENCH
+JSON.
 
 Usage::
 
@@ -71,6 +74,7 @@ from repro.experiments.runner import (  # noqa: E402
 from repro.experiments.scenarios import (  # noqa: E402
     heavy_traffic_scenario,
     multi_zone_fluctuating_scenario,
+    overload_scenario,
     stable_workload_scenario,
     zone_outage_scenario,
 )
@@ -124,6 +128,19 @@ def _run_zone_outage() -> ExperimentResult:
     return run_scenario_experiment(scenario, arrivals, drain_time=300.0)
 
 
+def _run_overload() -> ExperimentResult:
+    # Deadline-aware shedding keeps the admission/shedding hooks on the
+    # measured path (the "none" variant would exercise only the wiring).
+    scenario, arrivals = overload_scenario(
+        "OPT-6.7B",
+        admission="deadline-aware",
+        admission_params={"slo_latency": 60.0},
+    )
+    return run_scenario_experiment(
+        scenario, arrivals, drain_time=120.0, allow_spot_requests=False
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], ExperimentResult]] = {
     # The two golden determinism scenarios, run at their golden durations.
     "end-to-end": _run_end_to_end,
@@ -137,6 +154,10 @@ SCENARIOS: Dict[str, Callable[[], ExperimentResult]] = {
     # fleet evacuates across the survivors (ZONE_OUTAGE events, evacuation
     # replanning, conservation accounting all on the measured path).
     "zone-outage": _run_zone_outage,
+    # Sustained overload on a pinned fleet with deadline-aware shedding:
+    # the overload-control subsystem (admission hooks + per-round queue
+    # shedding) on the measured path.
+    "overload": _run_overload,
 }
 
 
@@ -305,7 +326,13 @@ def main(argv=None) -> int:
         "under --check, which forces the timed scenarios serial",
     )
     args = parser.parse_args(argv)
-    names = args.scenario or ["end-to-end", "multi-zone", "heavy-traffic", "zone-outage"]
+    names = args.scenario or [
+        "end-to-end",
+        "multi-zone",
+        "heavy-traffic",
+        "zone-outage",
+        "overload",
+    ]
     if args.check is not None and args.jobs > 1:
         # Parallel scenarios time each other's interference; comparing that
         # against a serially-recorded baseline would fail healthy builds
@@ -360,6 +387,12 @@ def main(argv=None) -> int:
                 f"[policy] {row['scenario']:<13} {row['policy']:<20} "
                 f"cost ${row['total_cost']:.2f}  p99 {row['p99_latency']}s  "
                 f"unserved {row['requests_unserved']}"
+            )
+        for row in policy_payload["admission_rows"]:
+            print(
+                f"[admission] {row['scenario']:<11} {row['admission']:<20} "
+                f"cost ${row['total_cost']:.2f}  p99 {row['p99_latency']}s  "
+                f"rejected {row['requests_rejected']}  shed {row['requests_shed']}"
             )
         payload["policy_benchmark"] = policy_payload
     args.output.write_text(json.dumps(payload, indent=2) + "\n")

@@ -8,6 +8,12 @@ through the three canonical multi-zone scenarios -- fluctuating,
 heavy-traffic and the zone-outage fault injection -- and the table reports
 monetary cost, mean/p99 latency and requests left unserved per cell.
 
+It also renders the overload-control sweep: every admission variant (none,
+queue-cap, deadline-aware, token-bucket) through the ``overload`` scenario
+on a pinned fleet, where cost is byte-identical across variants and the
+acceptance claim holds -- deadline-aware's p99 is strictly below the
+unbounded queue's at equal cost.
+
 The same sweep runs headlessly via ``benchmarks/perf/run_perf.py
 --policy-benchmark``, which embeds the rows into ``BENCH_adaptation.json``
 (uploaded as a CI artifact).
@@ -20,6 +26,7 @@ import pytest
 
 from conftest import FIGURE_WORKERS, format_row, write_result
 from repro.experiments.policy_bench import (
+    ADMISSION_VARIANTS,
     BENCH_SCENARIOS,
     POLICY_VARIANTS,
     run_policy_benchmark,
@@ -77,6 +84,46 @@ def test_figure9_policy_head_to_head(benchmark):
     lines.append(
         f"policies: {', '.join(POLICY_VARIANTS)}  |  scenarios: {', '.join(BENCH_SCENARIOS)}"
     )
+
+    # Overload-control sweep: pinned fleet, so cost is byte-identical and
+    # the admission policies differentiate on latency/accounting alone.
+    admission_rows = payload["admission_rows"]
+    assert len(admission_rows) == len(ADMISSION_VARIANTS)
+    by_admission = {row["admission"]: row for row in admission_rows}
+    assert len({row["total_cost"] for row in admission_rows}) == 1
+    assert (
+        by_admission["deadline-aware"]["p99_latency"]
+        < by_admission["none"]["p99_latency"]
+    )
+    assert by_admission["deadline-aware"]["requests_shed"] > 0
+    assert by_admission["queue-cap"]["requests_rejected"] > 0
+    assert by_admission["token-bucket"]["requests_rejected"] > 0
+
+    lines.append("")
+    lines.append("=== overload control (pinned fleet, identical cost by construction)")
+    adm_widths = (14, 20, 9, 8, 9, 9, 9, 7)
+    lines.append(
+        format_row(
+            ["scenario", "admission", "cost $", "avg s", "p99 s", "done", "rejected", "shed"],
+            adm_widths,
+        )
+    )
+    for row in admission_rows:
+        lines.append(
+            format_row(
+                [
+                    row["scenario"],
+                    row["admission"],
+                    row["total_cost"],
+                    row["avg_latency"] if row["avg_latency"] is not None else float("nan"),
+                    row["p99_latency"] if row["p99_latency"] is not None else float("nan"),
+                    row["completed_requests"],
+                    row["requests_rejected"],
+                    row["requests_shed"],
+                ],
+                adm_widths,
+            )
+        )
     write_result("figure9_policies", lines)
 
     # Also drop the raw rows next to the table so they can be diffed / fed

@@ -1,5 +1,14 @@
-"""SpotServe core: controller, autoscaler, device mapper, migration, server."""
+"""SpotServe core: controller, autoscaler, admission, mapper, migration, server."""
 
+from .admission import (
+    AdmissionPolicy,
+    AdmissionSignal,
+    DeadlineAwarePolicy,
+    NoAdmissionPolicy,
+    QueueCapPolicy,
+    TokenBucketPolicy,
+    make_admission_policy,
+)
 from .autoscaler import (
     Autoscaler,
     AutoscaleDecision,
@@ -24,6 +33,13 @@ from .server import ServingSystemBase, SpotServeOptions, SpotServeSystem
 from .stats import AutoscaleRecord, ReconfigurationRecord, ServingStats
 
 __all__ = [
+    "AdmissionPolicy",
+    "AdmissionSignal",
+    "DeadlineAwarePolicy",
+    "NoAdmissionPolicy",
+    "QueueCapPolicy",
+    "TokenBucketPolicy",
+    "make_admission_policy",
     "AutoscaleDecision",
     "AutoscaleRecord",
     "AutoscaleSignal",

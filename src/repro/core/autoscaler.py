@@ -24,6 +24,13 @@ paper's adaptation round); the resulting per-zone acquire/release requests
 are executed by the :class:`~repro.cloud.manager.InstanceManager`, and the
 parallelization controller then re-optimises the configuration for whatever
 fleet materialises.
+
+Invariant: the ``arrival_rate`` in the signal is the **post-admission
+effective demand** -- requests rejected by the overload controller
+(:mod:`repro.core.admission`) never enter the arrival-rate window, and the
+queue-shedding hook runs *before* the autoscaler each round -- so sizing
+policies provision for the load that will actually be served instead of
+chasing demand the admission boundary already turned away.
 """
 
 from __future__ import annotations
@@ -140,6 +147,7 @@ class TargetUtilizationPolicy(AutoscalePolicy):
         self.dead_band = dead_band
 
     def desired_instances(self, signal: AutoscaleSignal) -> int:
+        """Fleet size that brings utilization back to the target band."""
         current = max(signal.current_instances, 1)
         utilization = signal.utilization
         if utilization == float("inf"):
@@ -174,6 +182,7 @@ class QueueLatencyPolicy(AutoscalePolicy):
         self.scale_down_utilization = scale_down_utilization
 
     def desired_instances(self, signal: AutoscaleSignal) -> int:
+        """Fleet size that bounds the estimated queue drain delay."""
         current = max(signal.current_instances, 1)
         if signal.serving_throughput <= 0:
             return current + 1 if signal.queue_depth > 0 else current
@@ -265,6 +274,7 @@ class CostAwarePolicy(AutoscalePolicy):
         return best_by_count
 
     def desired_instances(self, signal: AutoscaleSignal) -> int:
+        """Smallest fleet whose profiled throughput sustains the demand."""
         demand = signal.arrival_rate * self.headroom
         cap = min(self.max_probe_instances, self._budget_cap(signal))
         best_by_count = self._best_throughput_by_count(cap)
@@ -422,6 +432,7 @@ class Autoscaler:
         sign = -1.0 if prefer_priciest else 1.0
 
         def price(zone: ZoneView) -> float:
+            """Price of the market the grants would actually come from."""
             return zone.spot_price if spot_allowed else zone.on_demand_price
 
         acquire: Dict[str, int] = {}
@@ -459,6 +470,7 @@ class Autoscaler:
         sign = 1.0 if prefer_cheapest else -1.0
 
         def price(zone: ZoneView) -> float:
+            """Price of the market the releases would give back."""
             return zone.spot_price if spot_allowed else zone.on_demand_price
 
         release: Dict[str, int] = {}

@@ -140,6 +140,7 @@ class ConfigurationSpace:
 
     @migration_buffer_bytes.setter
     def migration_buffer_bytes(self, value: float) -> None:
+        """Set the reserved buffer and invalidate the enumeration cache."""
         # The buffer reservation changes which configurations fit in memory,
         # so any cached enumeration is stale.
         self._migration_buffer_bytes = value

@@ -25,6 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+try:  # numpy powers the vectorized propose sweep; scalar path without it.
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    np = None
+
 from ..llm.profiler import OfflineProfiler
 from ..perf import NULL_TIMERS, PhaseTimers
 from .config import ConfigurationSpace, ParallelConfig
@@ -46,6 +51,16 @@ RATE_KEY_DECIMALS = 12
 #: intra-round hits, which is where all the savings are.
 ESTIMATE_MEMO_MAX = 65536
 SWEEP_MEMO_MAX = 256
+
+#: Feasible-space size below which the vectorized propose sweep falls back
+#: to the scalar per-config loop: on tiny fleets the numpy dispatch overhead
+#: exceeds the arithmetic it saves.  Above it the per-round cost is a few
+#: array expressions plus a handful of ConfigEstimate objects for the
+#: near-tie contenders, instead of one Python-level estimate per config.
+VECTOR_SWEEP_MIN_CONFIGS = 64
+
+#: Distinguishes "memoised as None (no feasible config)" from a memo miss.
+_MEMO_MISS = object()
 
 
 @dataclass(frozen=True)
@@ -97,15 +112,28 @@ class ParallelizationController:
         latency_tie_margin: float = LATENCY_TIE_MARGIN,
         memoize: bool = True,
         timers: Optional[PhaseTimers] = None,
+        vectorize: bool = True,
     ) -> None:
         self.config_space = config_space
         self.profiler = profiler
         self.slo_latency = slo_latency
         self.latency_tie_margin = latency_tie_margin
         self.memoize = memoize
+        #: Batch the propose sweep's per-config cost evaluation with numpy
+        #: (bit-identical to the scalar loop; cross-checked by tests).
+        #: Falls back to the scalar path on small feasible spaces or when
+        #: numpy is unavailable.
+        self.vectorize = vectorize and np is not None
         self.timers = timers if timers is not None else NULL_TIMERS
         self._estimate_memo: Dict[Tuple[ParallelConfig, float], ConfigEstimate] = {}
         self._estimates_memo: Dict[Tuple[int, float], List[ConfigEstimate]] = {}
+        #: Per-fleet-size static arrays backing the vectorized sweep
+        #: (configs in enumeration order + exec latency / throughput /
+        #: instance / batch / data-degree columns); invalidated with the
+        #: other memos when the profiler or config space moves.
+        self._vector_memo: Dict[int, Tuple] = {}
+        #: Memoised propose() outcomes per (available, max, rate) round key.
+        self._propose_memo: Dict[Tuple[int, int, float], Optional[OptimizerDecision]] = {}
         #: Rate-independent slice of an estimate per config -- (execution
         #: latency, throughput, num_instances).  A fluctuating arrival rate
         #: mints a fresh (config, rate) memo key every round, but these
@@ -123,6 +151,8 @@ class ParallelizationController:
         self._estimate_memo.clear()
         self._estimates_memo.clear()
         self._static_memo.clear()
+        self._vector_memo.clear()
+        self._propose_memo.clear()
         self._profiler_generation = self.profiler.generation
         self._space_generation = self.config_space.generation
 
@@ -229,47 +259,203 @@ class ParallelizationController:
         max_instances = max(max_instances, available_instances)
 
         with self.timers.phase("propose"):
-            # One cost-model pass over the feasible space; both objective
-            # branches filter this shared list instead of re-estimating.
-            all_estimates = self._estimates(
-                max_instances, arrival_rate, allow_infinite=True
-            )
-            reachable = [
-                est for est in all_estimates if est.execution_latency != float("inf")
-            ]
-            if not reachable:
-                return None
+            memo_key: Optional[Tuple[int, int, float]] = None
+            if self.memoize:
+                if self._memo_is_stale():
+                    self.invalidate()
+                memo_key = (
+                    available_instances,
+                    max_instances,
+                    round(arrival_rate, RATE_KEY_DECIMALS),
+                )
+                hit = self._propose_memo.get(memo_key, _MEMO_MISS)
+                if hit is not _MEMO_MISS:
+                    return hit
 
-            # Line 2-3: configurations that keep up with the arrival rate.
-            sustaining = [
-                est
-                for est in reachable
-                if est.throughput >= arrival_rate
-                and est.meets_rate
-                and self._meets_slo(est)
-            ]
-            if sustaining:
-                best = self._pick_lowest_latency(sustaining)
-                objective = "latency"
+            selected = self._select_best(max_instances, arrival_rate)
+            if selected is None:
+                decision: Optional[OptimizerDecision] = None
             else:
-                # Line 5: no reachable configuration keeps up with the demand,
-                # so maximise throughput.  When the deployment may grow
-                # (on-demand mixing), the maximisation considers the larger
-                # fleet and the resulting positive delta triggers an
-                # allocation (lines 6-8); otherwise it is confined to the
-                # instances at hand.
-                best = self._pick_highest_throughput(all_estimates)
-                objective = "throughput"
+                best, objective = selected
+                decision = OptimizerDecision(
+                    config=best.config,
+                    estimate=best,
+                    instance_delta=best.num_instances - available_instances,
+                    objective=objective,
+                    arrival_rate=arrival_rate,
+                    available_instances=available_instances,
+                )
+            if memo_key is not None:
+                if len(self._propose_memo) >= SWEEP_MEMO_MAX:
+                    self._propose_memo.clear()
+                self._propose_memo[memo_key] = decision
+            return decision
 
-            delta = best.num_instances - available_instances
-            return OptimizerDecision(
-                config=best.config,
-                estimate=best,
-                instance_delta=delta,
-                objective=objective,
-                arrival_rate=arrival_rate,
-                available_instances=available_instances,
+    def _select_best(
+        self, max_instances: int, arrival_rate: float
+    ) -> Optional[Tuple[ConfigEstimate, str]]:
+        """Pick Algorithm 1's winning configuration and its objective.
+
+        Dispatches to the numpy-vectorized sweep when it applies (large
+        feasible space, numpy importable) and to the reference scalar loop
+        otherwise.  The two paths are bit-identical -- same winner, same
+        estimate values -- which ``tests/test_controller_vectorized.py``
+        cross-checks over randomized fleets and rates.
+        """
+        if self.vectorize:
+            vectors = self._static_vectors(max_instances)
+            if vectors is not None:
+                return self._select_best_vector(vectors, arrival_rate)
+        return self._select_best_scalar(max_instances, arrival_rate)
+
+    def _select_best_scalar(
+        self, max_instances: int, arrival_rate: float
+    ) -> Optional[Tuple[ConfigEstimate, str]]:
+        """Reference per-config selection loop (Algorithm 1 lines 2-5)."""
+        # One cost-model pass over the feasible space; both objective
+        # branches filter this shared list instead of re-estimating.
+        all_estimates = self._estimates(
+            max_instances, arrival_rate, allow_infinite=True
+        )
+        reachable = [
+            est for est in all_estimates if est.execution_latency != float("inf")
+        ]
+        if not reachable:
+            return None
+
+        # Line 2-3: configurations that keep up with the arrival rate.
+        sustaining = [
+            est
+            for est in reachable
+            if est.throughput >= arrival_rate
+            and est.meets_rate
+            and self._meets_slo(est)
+        ]
+        if sustaining:
+            return self._pick_lowest_latency(sustaining), "latency"
+        # Line 5: no reachable configuration keeps up with the demand,
+        # so maximise throughput.  When the deployment may grow
+        # (on-demand mixing), the maximisation considers the larger
+        # fleet and the resulting positive delta triggers an
+        # allocation (lines 6-8); otherwise it is confined to the
+        # instances at hand.
+        return self._pick_highest_throughput(all_estimates), "throughput"
+
+    # ------------------------------------------------------------------
+    # Vectorized propose sweep
+    # ------------------------------------------------------------------
+    def _static_vectors(self, num_instances: int):
+        """Rate-independent columns of the feasible space, as numpy arrays.
+
+        Returns ``(configs, exec_latency, throughput, num_instances,
+        batch_size, data_degree)`` with rows in the exact
+        ``feasible_configs`` enumeration order (the scalar sweep's order,
+        which the tie-breaking sorts rely on), or ``None`` when the space
+        is too small for vectorization to pay off.  Cached per fleet size;
+        the profiler/config-space generation counters invalidate it through
+        :meth:`invalidate` like every other memo.
+        """
+        if self._memo_is_stale():
+            self.invalidate()
+        cached = self._vector_memo.get(num_instances)
+        if cached is not None:
+            return cached
+        configs = self.config_space.feasible_configs(num_instances)
+        if len(configs) < VECTOR_SWEEP_MIN_CONFIGS:
+            return None
+        count = len(configs)
+        exec_latency = np.empty(count)
+        throughput = np.empty(count)
+        instances = np.empty(count, dtype=np.int64)
+        batch = np.empty(count, dtype=np.int64)
+        data_degree = np.empty(count, dtype=np.int64)
+        static_memo = self._static_memo
+        gpus_per_instance = self.config_space.gpus_per_instance
+        for i, config in enumerate(configs):
+            static = static_memo.get(config)
+            if static is None:
+                entry = self.profiler.profile(
+                    config.data_degree,
+                    config.pipeline_degree,
+                    config.tensor_degree,
+                    config.batch_size,
+                )
+                static = (
+                    entry.latency,
+                    entry.throughput,
+                    config.num_instances(gpus_per_instance),
+                )
+                if self.memoize:
+                    static_memo[config] = static
+            exec_latency[i] = static[0]
+            throughput[i] = static[1]
+            instances[i] = static[2]
+            batch[i] = config.batch_size
+            data_degree[i] = config.data_degree
+        vectors = (configs, exec_latency, throughput, instances, batch, data_degree)
+        self._vector_memo[num_instances] = vectors
+        return vectors
+
+    def _vector_request_latency(self, vectors, arrival_rate: float):
+        """``l_req`` for every feasible config at once (column vector).
+
+        Replicates :meth:`_request_latency` operation for operation --
+        identical expression ordering on IEEE-754 doubles -- so every
+        element equals the scalar result bit for bit.
+        """
+        _, exec_latency, throughput, _, batch, data_degree = vectors
+        if arrival_rate <= 0:
+            return exec_latency.copy()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            utilisation = np.where(
+                throughput > 0, arrival_rate / throughput, float("inf")
             )
+            result = np.full_like(exec_latency, float("inf"))
+            ok = utilisation < 1.0
+            batch_wait = (batch[ok] - 1) / (2.0 * arrival_rate)
+            queue_wait = (
+                utilisation[ok]
+                / (1.0 - utilisation[ok])
+                * exec_latency[ok]
+                / (2.0 * data_degree[ok])
+            )
+            result[ok] = exec_latency[ok] + batch_wait + queue_wait
+        return result
+
+    def _select_best_vector(
+        self, vectors, arrival_rate: float
+    ) -> Optional[Tuple[ConfigEstimate, str]]:
+        """Vectorized Algorithm 1 selection over the pre-built columns.
+
+        The heavy per-config work (request-latency evaluation, the
+        sustaining filter, the near-tie thresholds) runs as whole-array
+        numpy expressions; only the handful of near-tie contenders are
+        materialised as :class:`ConfigEstimate` objects and handed to the
+        exact same tie-breaking sorts as the scalar path, in the same
+        enumeration order -- so the winner (and its floats) are identical.
+        """
+        configs, exec_latency, throughput, _, _, _ = vectors
+        inf = float("inf")
+        reachable = exec_latency != inf
+        if not reachable.any():
+            return None
+        request_latency = self._vector_request_latency(vectors, arrival_rate)
+        sustaining = reachable & (throughput >= arrival_rate) & (request_latency != inf)
+        if self.slo_latency is not None:
+            sustaining &= request_latency <= self.slo_latency
+        if sustaining.any():
+            best_latency = request_latency[sustaining].min()
+            threshold = best_latency * (1.0 + self.latency_tie_margin)
+            contender_idx = np.nonzero(sustaining & (request_latency <= threshold))[0]
+            contenders = [
+                self.estimate(configs[i], arrival_rate) for i in contender_idx
+            ]
+            return self._pick_lowest_latency(contenders), "latency"
+        best_throughput = throughput.max()
+        threshold = best_throughput * (1.0 - self.latency_tie_margin)
+        contender_idx = np.nonzero(throughput >= threshold)[0]
+        contenders = [self.estimate(configs[i], arrival_rate) for i in contender_idx]
+        return self._pick_highest_throughput(contenders), "throughput"
 
     # ------------------------------------------------------------------
     # Helpers

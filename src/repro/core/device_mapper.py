@@ -499,6 +499,7 @@ class DeviceMapper:
             votes = pipeline_zones.setdefault(position.data_index, {})
 
             def preference(device_id: DeviceId) -> Tuple:
+                """Sort key: majority zone of the pipeline first, then stable id."""
                 zone = self.zone_of(device_id[0])
                 return (-votes.get(zone, 0), zone, device_id)
 

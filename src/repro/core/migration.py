@@ -496,6 +496,7 @@ class MigrationPlanner:
         zone_of = self.network.zone_of if not self.evacuation_mode else None
 
         def source_rank(item: Tuple[Tuple[float, float], DeviceId]) -> Tuple:
+            """Prefer same-instance, then same-zone sources (unless evacuating)."""
             _, device_id = item
             same_instance = device_id[0] == destination[0]
             if zone_of is None:

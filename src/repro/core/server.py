@@ -2,13 +2,31 @@
 
 :class:`ServingSystemBase` provides the machinery every serving system in the
 reproduction shares -- request queueing, batch dispatch, pipeline lifecycle,
-statistics -- wired to the discrete-event simulator and the simulated cloud
-provider.  :class:`SpotServeSystem` implements the paper's system on top of
-it: the parallelization controller (Algorithm 1), the KM device mapper, the
+statistics, demand-driven autoscaling and overload control -- wired to the
+discrete-event simulator and the simulated cloud provider.
+:class:`SpotServeSystem` implements the paper's system on top of it: the
+parallelization controller (Algorithm 1), the KM device mapper, the
 progressive/memory-optimised migration planner (Algorithm 2) and stateful
 inference recovery with the JIT interruption arranger.  The baselines in
 :mod:`repro.baselines` subclass the same base so that every system sees the
 identical workload, trace and inference engine.
+
+Invariants maintained here (and pinned by the regression suites):
+
+* **Request conservation** -- at any simulation instant ::
+
+      submitted == completed + unfinished + dropped + rejected + shed
+
+  where ``unfinished`` is :meth:`ServingSystemBase.unfinished_request_count`
+  (queue backlog + in-flight + resumable + not-yet-arrived) and the last
+  three are :class:`~repro.core.stats.ServingStats` counters.  No request
+  is ever silently lost; rejection and shedding are explicit, accounted
+  overload-control actions (:mod:`repro.core.admission`).
+* **Digest pinning** -- with autoscaling, fault injection and admission
+  all disabled, ``ServingStats.summary_text()`` on the golden scenarios
+  hashes to the sha256 values pinned in
+  ``tests/test_streaming_equivalence.py``; new subsystems must keep those
+  byte-identical (their counters live in ``extended_summary_text()``).
 """
 
 from __future__ import annotations
@@ -35,6 +53,7 @@ from ..sim.events import Event, EventType
 from ..sim.network import NetworkModel
 from ..workload.arrival import ArrivalProcess
 from ..workload.request import Request
+from .admission import AdmissionPolicy, AdmissionSignal, make_admission_policy
 from .autoscaler import Autoscaler, AutoscaleSignal, ZoneView, make_autoscaler
 from .config import ConfigurationSpace, ParallelConfig
 from .controller import OptimizerDecision, ParallelizationController
@@ -91,6 +110,15 @@ class SpotServeOptions:
     #: stops growing with run length; every derived metric and digest is
     #: computed from streaming aggregates either way.
     retain_completed_requests: bool = True
+    #: Overload-control policy name ("none", "queue-cap", "deadline-aware",
+    #: "token-bucket"; see :mod:`repro.core.admission`).  ``None`` disables
+    #: the admission hooks entirely (byte-identical to builds without the
+    #: subsystem -- the golden digests pin this).
+    admission: Optional[str] = None
+    #: Keyword arguments forwarded to the admission-policy factory.
+    admission_params: Optional[Dict] = None
+    #: Pre-built admission policy instance (overrides ``admission``).
+    admission_policy: Optional[AdmissionPolicy] = None
 
 
 class ServingSystemBase:
@@ -165,6 +193,14 @@ class ServingSystemBase:
             )
         else:
             self.autoscaler = None
+        if self.options.admission_policy is not None:
+            self.admission: Optional[AdmissionPolicy] = self.options.admission_policy
+        elif self.options.admission is not None:
+            self.admission = make_admission_policy(
+                self.options.admission, **(self.options.admission_params or {})
+            )
+        else:
+            self.admission = None
 
         self.current_config: Optional[ParallelConfig] = None
         self.pipelines: List[InferencePipeline] = []
@@ -319,6 +355,19 @@ class ServingSystemBase:
     def _on_request_arrival(self, event: Event) -> None:
         request: Request = event.payload
         self._arrived_requests += 1
+        if self.admission is not None and not self.admission.admit(
+            request,
+            AdmissionSignal(
+                time=event.time,
+                queue_depth=self.request_queue.pending,
+                slo_latency=self.options.slo_latency,
+            ),
+        ):
+            # Rejected requests never enter the queue *or* the arrival-rate
+            # window: the autoscaler and controller size the fleet for the
+            # admitted load only (post-admission effective demand).
+            self.stats.requests_rejected += 1
+            return
         self._arrival_times.append(request.arrival_time)
         self.request_queue.enqueue(request)
         self._dispatch()
@@ -390,12 +439,52 @@ class ServingSystemBase:
         """React to a zone-outage phase (subclasses override)."""
 
     def _on_workload_check(self, event: Event) -> None:
+        # Overload control first: shedding runs before the autoscaler and
+        # the workload re-evaluation so sizing and configuration decisions
+        # see the post-shed backlog instead of chasing doomed requests.
+        self._run_admission_round()
         self._run_autoscaler()
         self.handle_workload_check()
         if self.options.workload_check_interval > 0:
             self.simulator.schedule_after(
                 self.options.workload_check_interval, EventType.WORKLOAD_CHECK
             )
+
+    # ------------------------------------------------------------------
+    # Overload control (admission + shedding)
+    # ------------------------------------------------------------------
+    def _admission_round_signal(self) -> AdmissionSignal:
+        """Snapshot the serving state for one overload-control round.
+
+        Every field is a pure function of the seeded simulation state, so
+        the ``"none"`` policy -- which receives this signal and ignores it
+        -- cannot perturb the run (the golden digests pin that).
+        """
+        arrival_rate = self.estimate_arrival_rate()
+        throughput = 0.0
+        execution_latency = 0.0
+        if self.current_config is not None:
+            estimate = self.controller.estimate(self.current_config, arrival_rate)
+            throughput = estimate.throughput
+            execution_latency = estimate.execution_latency
+        return AdmissionSignal(
+            time=self.simulator.now,
+            queue_depth=self.request_queue.pending,
+            arrival_rate=arrival_rate,
+            serving_throughput=throughput,
+            execution_latency=execution_latency,
+            slo_latency=self.options.slo_latency,
+        )
+
+    def _run_admission_round(self) -> None:
+        """Consult the shedding policy once per adaptation round."""
+        if self.admission is None:
+            return
+        signal = self._admission_round_signal()
+        self.admission.observe_round(signal)
+        shed = self.admission.shed(self.request_queue, signal)
+        if shed:
+            self.stats.requests_shed += len(shed)
 
     # ------------------------------------------------------------------
     # Demand-driven fleet sizing (autoscaler)
@@ -556,6 +645,7 @@ class ServingSystemBase:
         self._arrival_start = start
 
         def rate_over(window: float) -> float:
+            """Observed arrival rate over the trailing *window* seconds."""
             span = min(window, max(now, 1.0))
             recent = total - bisect_left(arrivals, now - window, start)
             observed = recent / span
@@ -737,10 +827,15 @@ class ServingSystemBase:
         Counts the queue backlog, the in-flight batches, the interrupted
         batches waiting to resume, and submitted requests whose arrival
         event has not fired yet (pre-scheduled or armed by the streaming
-        source).  Request conservation -- the invariant the zone-outage
-        regression suite pins -- then holds at *any* simulation instant::
+        source).  Request conservation -- the invariant the zone-outage and
+        admission regression suites pin -- then holds at *any* simulation
+        instant::
 
             submitted == completed + unfinished + stats.requests_dropped
+                         + stats.requests_rejected + stats.requests_shed
+
+        (the last two buckets stay zero unless an overload-control policy
+        is active; see :mod:`repro.core.admission`).
         """
         inflight = sum(
             pipeline.current_batch.size
@@ -929,9 +1024,11 @@ class SpotServeSystem(ServingSystemBase):
     # Event hooks
     # ------------------------------------------------------------------
     def handle_preemption_notice(self, instance: Instance, deadline: float) -> None:
+        """Re-plan immediately so migration fits inside the grace period."""
         self._plan_reconfiguration(reason="preemption")
 
     def handle_preemption_final(self, instance: Instance) -> None:
+        """Tear down pipelines that still referenced the vanished instance."""
         # If the instance is still referenced by a running pipeline (the
         # reconfiguration did not finish in time), interrupt those pipelines
         # and requeue their requests without the lost cache.
@@ -967,12 +1064,15 @@ class SpotServeSystem(ServingSystemBase):
             self._plan_reconfiguration(reason="zone-outage-final")
 
     def handle_acquisition_ready(self, instance: Instance) -> None:
+        """Fold the new instance into the deployment (JIT arrangement)."""
         self._plan_reconfiguration(reason="acquisition")
 
     def handle_replan(self) -> None:
+        """Deferred re-plan after an in-flight migration finished."""
         self._plan_reconfiguration(reason="followup")
 
     def handle_workload_check(self) -> None:
+        """Adaptation round: re-optimise the configuration with hysteresis."""
         if not self.options.adaptive_controller:
             return
         decision = self._propose()

@@ -82,6 +82,13 @@ class ServingStats:
     #: interrupted batch is re-queued -- so this stays zero and exists as the
     #: accounting bucket the evacuation-conservation regression pins.
     requests_dropped: int = 0
+    #: Requests turned away at the admission boundary (overload control);
+    #: they never enter the queue or the arrival-rate window.
+    requests_rejected: int = 0
+    #: Queued requests abandoned by the shedding policy at an adaptation
+    #: round (e.g. ``deadline-aware``: their queue age already exceeded the
+    #: SLO-derived bound, so serving them would be wasted capacity).
+    requests_shed: int = 0
     config_timeline: List[Tuple[float, ParallelConfig]] = field(default_factory=list)
     #: Streaming aggregates, filled by :meth:`record_completion`.
     _completed_count: int = field(default=0, init=False, repr=False)
@@ -184,12 +191,15 @@ class ServingStats:
         return "\n".join(f"{key}={summary[key]!r}" for key in sorted(summary))
 
     def extended_summary(self) -> Dict[str, object]:
-        """:meth:`summary` plus the fault-injection counters.
+        """:meth:`summary` plus the fault-injection and overload counters.
 
-        The zone-outage / request-conservation counters live here instead of
-        in :meth:`summary` so the golden sha256 digests pinned before the
-        outage subsystem existed stay byte-identical; outage goldens pin the
-        digest of :meth:`extended_summary_text` instead.
+        The zone-outage / overload-control / request-conservation counters
+        live here instead of in :meth:`summary` so the golden sha256 digests
+        pinned before those subsystems existed stay byte-identical; outage
+        and admission goldens pin the digest of
+        :meth:`extended_summary_text` instead.  Together the counters close
+        the conservation equation ``submitted == completed + unfinished +
+        dropped + rejected + shed`` at any simulation instant.
         """
         summary = self.summary()
         summary.update(
@@ -197,6 +207,8 @@ class ServingStats:
                 "zone_outages": self.zone_outages,
                 "requests_rerouted": self.requests_rerouted,
                 "requests_dropped": self.requests_dropped,
+                "requests_rejected": self.requests_rejected,
+                "requests_shed": self.requests_shed,
             }
         )
         return summary

@@ -126,6 +126,25 @@ class RequestQueue:
             members.append(self._queue.popleft())
         return Batch(members)
 
+    def shed(self, predicate) -> List[Request]:
+        """Remove and return every queued request matching *predicate*.
+
+        The relative order of the surviving requests is preserved.  Used by
+        the overload-control shedding policies (:mod:`repro.core.admission`);
+        the caller is responsible for accounting the removed requests (the
+        serving system counts them in ``ServingStats.requests_shed`` so the
+        request-conservation invariant keeps holding).
+        """
+        shed: List[Request] = []
+        if not self._queue:
+            return shed
+        kept: List[Request] = []
+        for request in self._queue:
+            (shed if predicate(request) else kept).append(request)
+        if shed:
+            self._queue = deque(kept)
+        return shed
+
     def peek_oldest_arrival(self) -> Optional[float]:
         """Arrival time of the oldest waiting request (None when empty)."""
         if not self._queue:

@@ -11,9 +11,17 @@ latency and requests left unserved (``requests_unserved`` -- with
 SpotServe's conservation guarantee these are still queued at the cutoff,
 never silently dropped; ``stats.requests_dropped`` stays zero).
 
-``benchmarks/perf/run_perf.py --policy-benchmark`` embeds the rows into
-``BENCH_adaptation.json`` (CI uploads it as an artifact) and
-``benchmarks/test_figure9_policies.py`` renders the comparison table.
+The heavy-traffic sweep exposed sustained overload as the regime where
+every sizing policy collapses identically, so the benchmark also sweeps the
+**overload-control (admission) policies** through the ``overload`` scenario
+-- a pinned six-instance fleet offered several times its serving capability
+-- where the fleet cost is byte-identical across variants and any latency
+difference is attributable to admission/shedding alone (every row carries
+an ``admission`` column; the sizing rows are all ``"none"``).
+
+``benchmarks/perf/run_perf.py --policy-benchmark`` embeds both row sets
+into ``BENCH_adaptation.json`` (CI uploads it as an artifact) and
+``benchmarks/test_figure9_policies.py`` renders the comparison tables.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from .runner import ExperimentResult, run_scenario_experiment
 from .scenarios import (
     heavy_traffic_scenario,
     multi_zone_fluctuating_scenario,
+    overload_scenario,
     zone_outage_scenario,
 )
 
@@ -48,6 +57,19 @@ BENCH_SCENARIOS: Tuple[str, ...] = ("fluctuating", "heavy-traffic", "zone-outage
 #: harness's 100k so a full 4-policy sweep stays interactive; override via
 #: ``run_policy_benchmark(heavy_target_requests=...)`` for the full load.
 DEFAULT_HEAVY_TARGET_REQUESTS = 50_000
+
+#: Overload-control variants swept through the ``overload`` scenario.  Each
+#: maps to ``SpotServeOptions.admission`` + factory params; ``"none"`` is
+#: today's behavior (unbounded queue) and serves as the control row.
+ADMISSION_VARIANTS: Dict[str, Dict] = {
+    "none": {},
+    "queue-cap": {},
+    "deadline-aware": {"slo_latency": 60.0},
+    "token-bucket": {},
+}
+
+#: Duration of the overload cell (seconds of offered workload).
+DEFAULT_OVERLOAD_DURATION = 600.0
 
 
 def build_cell(
@@ -111,18 +133,39 @@ def _finite(value: float) -> Optional[float]:
     return round(value, 4) if math.isfinite(value) else None
 
 
-def result_row(scenario_name: str, policy_name: str, result: ExperimentResult) -> Dict:
-    """Distil one cell's :class:`ExperimentResult` into a flat report row."""
+def result_row(
+    scenario_name: str,
+    policy_name: str,
+    result: ExperimentResult,
+    admission: str = "none",
+) -> Dict:
+    """Distil one cell's :class:`ExperimentResult` into a flat report row.
+
+    Args:
+        scenario_name: Benchmark scenario the cell ran.
+        policy_name: Sizing-policy variant (``"fixed-fleet"`` for the
+            overload cells, which attach no autoscaler).
+        result: The cell's experiment result.
+        admission: Overload-control variant the cell ran under.
+
+    Returns:
+        A flat JSON-safe dict: cost, latency percentiles, request
+        accounting (incl. the ``requests_rejected`` / ``requests_shed``
+        overload counters) and adaptation activity.
+    """
     stats = result.stats
     return {
         "scenario": scenario_name,
         "policy": policy_name,
+        "admission": admission,
         "total_cost": round(result.total_cost, 4),
         "avg_latency": _finite(result.latency.mean),
         "p99_latency": _finite(result.latency.p99),
         "submitted_requests": result.submitted_requests,
         "completed_requests": result.completed_requests,
         "requests_unserved": result.unserved_requests,
+        "requests_rejected": stats.requests_rejected,
+        "requests_shed": stats.requests_shed,
         "requests_rerouted": stats.requests_rerouted,
         "zone_outages": stats.zone_outages,
         "preemption_notices": stats.preemption_notices,
@@ -130,6 +173,47 @@ def result_row(scenario_name: str, policy_name: str, result: ExperimentResult) -
         "reconfigurations": len(stats.reconfigurations),
         "cost_per_token": _finite(result.cost_per_token),
     }
+
+
+def run_admission_cell(
+    admission_name: str,
+    duration: float = DEFAULT_OVERLOAD_DURATION,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run one overload-scenario cell under one admission variant.
+
+    The fleet is pinned (no autoscaler, no extra spot requests), so every
+    admission variant pays the identical monetary cost and the rows isolate
+    the overload-control contribution.
+
+    Args:
+        admission_name: Key into :data:`ADMISSION_VARIANTS`.
+        duration: Offered-workload length in seconds.
+        seed: Workload seed (identical across variants).
+
+    Returns:
+        The cell's :class:`ExperimentResult`.
+
+    Raises:
+        KeyError: If *admission_name* is not a registered variant.
+    """
+    try:
+        params = ADMISSION_VARIANTS[admission_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown admission variant {admission_name!r}; "
+            f"available: {sorted(ADMISSION_VARIANTS)}"
+        ) from None
+    scenario, arrivals = overload_scenario(
+        "OPT-6.7B",
+        duration=duration,
+        seed=seed,
+        admission=None if admission_name == "none" else admission_name,
+        admission_params=params or None,
+    )
+    return run_scenario_experiment(
+        scenario, arrivals, drain_time=120.0, allow_spot_requests=False
+    )
 
 
 def _cell_worker(job: Tuple[str, str, int, int]) -> Dict:
@@ -144,35 +228,77 @@ def _cell_worker(job: Tuple[str, str, int, int]) -> Dict:
     return result_row(scenario_name, policy_name, result)
 
 
+def _admission_cell_worker(job: Tuple[str, float, int]) -> Dict:
+    """Worker entry point: run one overload cell (picklable)."""
+    admission_name, duration, seed = job
+    result = run_admission_cell(admission_name, duration=duration, seed=seed)
+    return result_row("overload", "fixed-fleet", result, admission=admission_name)
+
+
 def run_policy_benchmark(
     policies: Optional[Sequence[str]] = None,
     scenarios: Optional[Sequence[str]] = None,
     workers: Optional[int] = None,
     heavy_target_requests: int = DEFAULT_HEAVY_TARGET_REQUESTS,
     seed: int = 0,
+    admission_variants: Optional[Sequence[str]] = None,
+    overload_duration: float = DEFAULT_OVERLOAD_DURATION,
 ) -> Dict:
     """Sweep every policy through every scenario; returns the report payload.
 
     Every cell replays the identical seeded workload and traces, so rows are
-    directly comparable across policies.  ``workers`` > 1 fans the cells
-    over a process pool (rows are identical to the serial sweep).
+    directly comparable across policies.  The payload also carries the
+    overload-control sweep: every admission variant through the ``overload``
+    scenario on a pinned fleet (``admission_rows``).
+
+    Args:
+        policies: Sizing-policy variants (default: all of
+            :data:`POLICY_VARIANTS`).
+        scenarios: Scenarios to sweep (default: :data:`BENCH_SCENARIOS`).
+        workers: Fan the cells over this many worker processes (rows are
+            identical to the serial sweep).
+        heavy_target_requests: Request volume of the heavy-traffic cell.
+        seed: Workload seed shared by every cell.
+        admission_variants: Overload-control variants for the ``overload``
+            sweep (default: all of :data:`ADMISSION_VARIANTS`; pass an
+            empty sequence to skip the sweep).
+        overload_duration: Offered-workload length of the overload cells.
+
+    Returns:
+        The report payload: ``rows`` (policy x scenario), ``admission_rows``
+        (admission x overload) and the swept variant lists.
     """
     policies = list(policies if policies is not None else POLICY_VARIANTS)
     scenarios = list(scenarios if scenarios is not None else BENCH_SCENARIOS)
+    admission_variants = list(
+        admission_variants if admission_variants is not None else ADMISSION_VARIANTS
+    )
     jobs = [
         (scenario_name, policy_name, heavy_target_requests, seed)
         for scenario_name in scenarios
         for policy_name in policies
     ]
-    if workers is not None and workers > 1 and len(jobs) > 1:
-        with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
-            rows = pool.map(_cell_worker, jobs)
+    admission_jobs = [
+        (admission_name, overload_duration, seed)
+        for admission_name in admission_variants
+    ]
+    if workers is not None and workers > 1 and len(jobs) + len(admission_jobs) > 1:
+        with multiprocessing.Pool(
+            processes=min(workers, max(len(jobs) + len(admission_jobs), 1))
+        ) as pool:
+            policy_async = pool.map_async(_cell_worker, jobs)
+            admission_async = pool.map_async(_admission_cell_worker, admission_jobs)
+            rows = policy_async.get()
+            admission_rows = admission_async.get()
     else:
         rows = [_cell_worker(job) for job in jobs]
+        admission_rows = [_admission_cell_worker(job) for job in admission_jobs]
     return {
         "benchmark": "autoscaling-policy head-to-head",
         "policies": policies,
         "scenarios": scenarios,
+        "admission_variants": admission_variants,
         "seed": seed,
         "rows": rows,
+        "admission_rows": admission_rows,
     }

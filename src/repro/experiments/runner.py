@@ -229,14 +229,30 @@ def run_scenario_experiment(
     drain_time: float = DEFAULT_DRAIN_TIME,
     system_cls: Type[ServingSystemBase] = SpotServeSystem,
     options: Optional[SpotServeOptions] = None,
+    allow_spot_requests: bool = True,
     **kwargs,
 ) -> ExperimentResult:
     """Run a :class:`~repro.experiments.scenarios.MultiZoneScenario` end to end.
 
     Thin convenience over :func:`run_serving_experiment` for the multi-zone
-    scenario objects (fluctuating / heavy-traffic / zone-outage): wires the
-    zones, enables extra spot requests (the autoscaler's growth channel) and
-    applies the scenario's options.  Extra keyword arguments are forwarded.
+    scenario objects (fluctuating / heavy-traffic / zone-outage / overload):
+    wires the zones, enables extra spot requests (the autoscaler's growth
+    channel) unless the scenario pins the fleet, and applies the scenario's
+    options.
+
+    Args:
+        scenario: A ``MultiZoneScenario`` (zones, duration, policy options).
+        arrival_process: The request workload to replay.
+        drain_time: Extra simulated seconds after the workload ends.
+        system_cls: Serving system class (SpotServe by default).
+        options: Overrides ``scenario.options()`` when given.
+        allow_spot_requests: Grant extra spot requests beyond the traces
+            (the overload benchmark passes ``False`` so every admission
+            variant runs on the identical fixed fleet at identical cost).
+        **kwargs: Forwarded to :func:`run_serving_experiment`.
+
+    Returns:
+        The :class:`ExperimentResult` of the run.
     """
     return run_serving_experiment(
         system_cls,
@@ -247,7 +263,7 @@ def run_scenario_experiment(
         drain_time=drain_time,
         options=options if options is not None else scenario.options(),
         zones=scenario.zones,
-        allow_spot_requests=True,
+        allow_spot_requests=allow_spot_requests,
         **kwargs,
     )
 

@@ -117,7 +117,9 @@ class MultiZoneScenario:
     zones: Tuple[ZoneSpec, ...]
     duration: float
     seed: int = 0
-    autoscale_policy: str = "cost-aware"
+    #: Demand-driven sizing policy; ``None`` pins the fleet to the traces
+    #: (the overload scenario does this so cost stays equal across runs).
+    autoscale_policy: Optional[str] = "cost-aware"
     min_instances: int = 2
     max_instances: int = 14
     cooldown: float = 60.0
@@ -126,6 +128,12 @@ class MultiZoneScenario:
     #: Zone-arbitrage direction ("cheapest" acquires cheap zones first, the
     #: default; "priciest" seeks the calm expensive zones instead).
     arbitrage: str = "cheapest"
+    #: Overload-control policy name (see :mod:`repro.core.admission`);
+    #: ``None`` disables the admission hooks entirely.
+    admission: Optional[str] = None
+    #: Keyword arguments for the admission-policy factory (hashable tuple of
+    #: ``(key, value)`` pairs so the scenario stays frozen/hashable).
+    admission_params: Optional[Tuple[Tuple[str, object], ...]] = None
 
     @property
     def initial_instances(self) -> int:
@@ -133,7 +141,13 @@ class MultiZoneScenario:
         return sum(zone.trace.initial_instances for zone in self.zones)
 
     def options(self) -> SpotServeOptions:
-        """SpotServe options with the scenario's autoscaler enabled."""
+        """SpotServe options with the scenario's autoscaler/admission wired.
+
+        Returns:
+            A :class:`SpotServeOptions` carrying the scenario's autoscaling
+            policy (when set), admission policy (when set) and stats
+            retention mode.
+        """
         params = {
             "min_instances": self.min_instances,
             "max_instances": self.max_instances,
@@ -148,8 +162,12 @@ class MultiZoneScenario:
         return SpotServeOptions(
             allow_on_demand=self.allow_on_demand,
             autoscale_policy=self.autoscale_policy,
-            autoscale_params=params,
+            autoscale_params=params if self.autoscale_policy is not None else None,
             retain_completed_requests=self.retain_completed_requests,
+            admission=self.admission,
+            admission_params=(
+                dict(self.admission_params) if self.admission_params else None
+            ),
         )
 
 
@@ -419,6 +437,94 @@ def zone_outage_scenario(
         autoscale_policy=autoscale_policy,
     )
     return scenario, rescaled.to_arrival_process(cv=6.0, seed=seed)
+
+
+def overload_market(duration: float = 600.0) -> Tuple[ZoneSpec, ...]:
+    """A small, *fixed* three-zone fleet for the sustained-overload study.
+
+    No trace events, no spare capacity beyond the pre-warmed fleet: every
+    run on this market holds exactly the same six instances for the whole
+    duration, so the monetary cost is byte-identical across overload-control
+    policies and any latency difference is attributable to admission /
+    shedding alone (the "at equal cost" clause of the benchmark).
+    """
+    zone_a = ZoneSpec(
+        name="us-east-1a",
+        trace=AvailabilityTrace(
+            name="1a-overload", initial_instances=3, events=[], duration=duration
+        ),
+        capacity=3,
+        spot_pricing=PriceSchedule.flat(1.5),
+    )
+    zone_b = ZoneSpec(
+        name="us-east-1b",
+        trace=AvailabilityTrace(
+            name="1b-overload", initial_instances=2, events=[], duration=duration
+        ),
+        capacity=2,
+        spot_pricing=PriceSchedule.flat(1.9),
+    )
+    zone_c = ZoneSpec(
+        name="us-west-2a",
+        trace=AvailabilityTrace(
+            name="2a-overload", initial_instances=1, events=[], duration=duration
+        ),
+        capacity=1,
+        spot_pricing=PriceSchedule.flat(2.6),
+    )
+    return (zone_a, zone_b, zone_c)
+
+
+def overload_scenario(
+    model_name: str = "OPT-6.7B",
+    duration: float = 600.0,
+    seed: int = 0,
+    rate_multiplier: float = 6.0,
+    admission: Optional[str] = None,
+    admission_params: Optional[Dict] = None,
+    cv: float = 6.0,
+) -> Tuple[MultiZoneScenario, GammaArrivals]:
+    """Sustained overload on a pinned fleet: the overload-control scenario.
+
+    The arrival rate is ``rate_multiplier`` times the model's nominal rate
+    -- far beyond what the six fixed instances of :func:`overload_market`
+    can serve -- and **no autoscaler is attached**, so the backlog grows
+    for the whole run unless an admission/shedding policy intervenes.
+    This isolates exactly the regime the heavy-traffic policy benchmark
+    exposed (every sizing policy saturating at the same ceiling while
+    latency explodes) and lets the admission policies differentiate at
+    strictly equal fleet cost.
+
+    Args:
+        model_name: Model to serve (sets the nominal arrival rate).
+        duration: Workload length in seconds.
+        seed: Workload seed (identical across admission variants).
+        rate_multiplier: Offered load as a multiple of the nominal rate.
+        admission: Overload-control policy name (``None`` disables it).
+        admission_params: Factory kwargs for the admission policy.
+        cv: Coefficient of variation of the Gamma arrival process.
+
+    Returns:
+        ``(scenario, arrival_process)`` -- run it with
+        ``run_scenario_experiment(..., allow_spot_requests=False)`` so the
+        fleet stays pinned.
+    """
+    scenario = MultiZoneScenario(
+        model_name=model_name,
+        zones=overload_market(duration),
+        duration=duration,
+        seed=seed,
+        autoscale_policy=None,
+        allow_on_demand=False,
+        admission=admission,
+        admission_params=(
+            tuple(sorted(admission_params.items())) if admission_params else None
+        ),
+    )
+    arrivals = GammaArrivals(
+        rate=default_rate_for(model_name) * rate_multiplier, cv=cv, seed=seed
+    )
+    return scenario, arrivals
 
 
 def fluctuating_workload_scenario(

@@ -37,8 +37,12 @@ from repro.workload.arrival import GammaArrivals
 #: zone-outage scenario (duration 900 s, 30 s warning, drain 300 s).  The
 #: extended summary includes the zone_outages / requests_rerouted /
 #: requests_dropped counters, so this pins the conservation accounting, not
-#: just the serving outcome.  Recorded when the outage subsystem landed.
-ZONE_OUTAGE_SHA256 = "1ef0262451282017a47e32fe51e4916aa1aa688dcc0a8efa216d363a17b9d594"
+#: just the serving outcome.  Recorded when the outage subsystem landed;
+#: re-recorded when the overload-control counters (requests_rejected /
+#: requests_shed, both zero here) joined the extended summary -- the run
+#: itself is unchanged, which the untouched legacy ``summary_text()``
+#: golden digests prove.
+ZONE_OUTAGE_SHA256 = "f93544a6fa56a4ab0f8d65cb5e98b0218d7e08e2d80bfcf1c302ba5fcd10c81e"
 
 
 # ----------------------------------------------------------------------

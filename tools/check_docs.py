@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Documentation quality gate: markdown link check + docstring coverage.
+
+Two checks, both dependency-free (stdlib only) so they run identically in
+CI, in the tier-1 test ``tests/test_docs.py`` and by hand:
+
+1. **Markdown link check.**  Every relative link target in the given
+   markdown files/directories must exist on disk (anchors are stripped;
+   external ``http(s)``/``mailto`` links are skipped -- this is a
+   repo-consistency check, not a crawler).
+2. **Docstring coverage floor.**  Every module, public class and public
+   function/method under the ``--coverage-path`` trees is counted
+   (``interrogate``-style); the run fails when the covered fraction drops
+   below ``--fail-under`` percent.
+
+Usage::
+
+    python tools/check_docs.py --fail-under 90 \
+        --coverage-path src/repro/core README.md docs ROADMAP.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Inline markdown links ``[text](target)`` (images included via ``!``).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks -- links inside them are examples, not references.
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+#: Link schemes that are out of scope for the on-disk check.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into the list of markdown files to check."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = REPO_ROOT / path
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix.lower() == ".md":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a markdown file or directory: {raw}")
+    return files
+
+
+def check_markdown_links(files: Iterable[Path]) -> List[str]:
+    """Return one error string per broken relative link."""
+    errors: List[str] = []
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: file does not exist")
+            continue
+        text = _FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:  # pure in-page anchor
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(REPO_ROOT)
+                errors.append(f"{rel}: broken link -> {match.group(1)}")
+    return errors
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def docstring_coverage(paths: Iterable[str]) -> Tuple[int, int, List[str]]:
+    """Count docstrings on modules, public classes and public callables.
+
+    Returns:
+        ``(documented, total, missing)`` where *missing* lists the
+        undocumented definitions as ``file:line name`` strings.
+    """
+    documented = 0
+    total = 0
+    missing: List[str] = []
+    for raw in paths:
+        root = Path(raw)
+        if not root.is_absolute():
+            root = REPO_ROOT / root
+        for source in sorted(root.rglob("*.py")):
+            rel = source.relative_to(REPO_ROOT)
+            tree = ast.parse(source.read_text(encoding="utf-8"))
+            nodes: List[Tuple[str, ast.AST]] = [(f"{rel}", tree)]
+            for node in ast.walk(tree):
+                if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _is_public(node.name):
+                        nodes.append((f"{rel}:{node.lineno} {node.name}", node))
+            for label, node in nodes:
+                total += 1
+                if ast.get_docstring(node) is not None:
+                    documented += 1
+                else:
+                    missing.append(label)
+    return documented, total, missing
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code (0 == all checks pass)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "markdown",
+        nargs="*",
+        default=["README.md", "ROADMAP.md", "docs"],
+        help="markdown files or directories to link-check",
+    )
+    parser.add_argument(
+        "--coverage-path",
+        action="append",
+        default=None,
+        help="python tree(s) to measure docstring coverage on "
+        "(default: src/repro/core)",
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=90.0,
+        help="minimum docstring coverage percentage (default 90)",
+    )
+    parser.add_argument(
+        "--list-missing",
+        action="store_true",
+        help="print every undocumented definition",
+    )
+    args = parser.parse_args(argv)
+    coverage_paths = args.coverage_path or ["src/repro/core"]
+
+    failures = 0
+
+    files = iter_markdown_files(args.markdown)
+    link_errors = check_markdown_links(files)
+    print(f"[docs] link check: {len(files)} markdown files")
+    for error in link_errors:
+        print(f"[docs]   BROKEN {error}")
+        failures += 1
+    if not link_errors:
+        print("[docs]   all relative links resolve")
+
+    documented, total, missing = docstring_coverage(coverage_paths)
+    pct = 100.0 * documented / total if total else 100.0
+    verdict = "OK" if pct >= args.fail_under else "FAIL"
+    print(
+        f"[docs] docstring coverage: {documented}/{total} = {pct:.1f}% "
+        f"(floor {args.fail_under:.0f}%) -> {verdict}"
+    )
+    if args.list_missing or pct < args.fail_under:
+        for label in missing:
+            print(f"[docs]   missing docstring: {label}")
+    if pct < args.fail_under:
+        failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
