@@ -221,10 +221,14 @@ def measure(name: str) -> Dict:
 def check_regression(reports: Dict[str, Dict], baseline_path: Path, max_regression: float) -> int:
     """Compare measured rounds against the committed baseline; 0 == pass.
 
-    Two guards per scenario, both optional in the baseline JSON:
+    Three guards per scenario, all optional in the baseline JSON:
 
     * ``adaptation_round_ms`` -- fails when the measured round exceeds the
       committed value times ``--max-regression``;
+    * ``map_ms_per_call`` -- fails when the measured per-call cost of the
+      ``map`` phase exceeds the committed value times ``--max-regression``
+      (guards the device-mapper fast path specifically, so a mapper
+      regression cannot hide inside an otherwise-fast round);
     * ``min_sim_events_per_sec`` -- fails when the event-loop throughput
       drops below the committed floor (already padded for slow runners, so
       no multiplier is applied).
@@ -234,8 +238,9 @@ def check_regression(reports: Dict[str, Dict], baseline_path: Path, max_regressi
     for name, report in reports.items():
         entry = baseline.get("scenarios", {}).get(name, {})
         allowed = entry.get("adaptation_round_ms")
+        map_allowed = entry.get("map_ms_per_call")
         min_events = entry.get("min_sim_events_per_sec")
-        if allowed is None and min_events is None:
+        if allowed is None and map_allowed is None and min_events is None:
             print(f"[check] {name}: no committed baseline, skipping")
             continue
         if allowed is not None:
@@ -248,6 +253,21 @@ def check_regression(reports: Dict[str, Dict], baseline_path: Path, max_regressi
             )
             if measured > limit:
                 failures.append(name)
+        if map_allowed is not None:
+            map_phase = report.get("phases", {}).get("map")
+            if map_phase is None:
+                print(f"[check] {name}: no map phase measured, skipping map guard")
+            else:
+                measured = map_phase["ms_per_call"]
+                limit = map_allowed * max_regression
+                verdict = "OK" if measured <= limit else "REGRESSION"
+                print(
+                    f"[check] {name}: map {measured:.2f} ms/call vs baseline "
+                    f"{map_allowed:.2f} (limit {limit:.2f}, x{max_regression:g}) "
+                    f"-> {verdict}"
+                )
+                if measured > limit and name not in failures:
+                    failures.append(name)
         if min_events is not None:
             events_per_sec = report.get("sim_events_per_sec", 0.0)
             verdict = "OK" if events_per_sec >= min_events else "REGRESSION"

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..engine.context import DeviceId, MetaContextManager
 from ..engine.placement import (
     TopologyPosition,
@@ -31,9 +33,29 @@ from ..engine.placement import (
     position_model_bytes,
 )
 from ..llm.spec import ModelSpec
-from ..matching.bipartite import BipartiteGraph
+from ..matching.bipartite import BipartiteGraph, positive_components
+from ..matching.hungarian import (
+    AssignmentState,
+    greedy_assignment,
+    maximum_weight_assignment,
+)
 from ..perf import NULL_TIMERS, PhaseTimers
 from .config import ParallelConfig
+
+#: Key of a warm-start cache entry: the exact devices (rows) and positions
+#: (columns) of one solved submatrix.  A config change produces different
+#: positions and a fleet change different devices, so stale warm states can
+#: never be offered for a differently-shaped solve -- and even a stale state
+#: with a matching key is only a *seed*: the warm solver verifies row
+#: equality byte-for-byte and recomputes whatever changed.
+_WarmKey = Tuple[Tuple[DeviceId, ...], Tuple[TopologyPosition, ...]]
+
+#: Dense reuse-weight view of one map round: the full device x position
+#: matrix plus the index maps back to device ids and positions.  Every cell
+#: is bit-identical to the scalar :meth:`DeviceMapper.reuse_weight` value.
+_WeightLookup = Tuple[
+    np.ndarray, Dict[DeviceId, int], Dict[TopologyPosition, int]
+]
 
 
 @dataclass
@@ -100,6 +122,9 @@ class DeviceMapper:
         hierarchical: bool = True,
         zone_of: Optional[Callable[[str], str]] = None,
         cache_weights: bool = True,
+        fast_path: bool = True,
+        warm_start: bool = True,
+        decompose: bool = True,
         timers: Optional[PhaseTimers] = None,
     ) -> None:
         self.model = model
@@ -108,7 +133,20 @@ class DeviceMapper:
         self.hierarchical = hierarchical
         self.zone_of = zone_of
         self.cache_weights = cache_weights
+        #: ``fast_path`` switches map_devices onto the vectorized weight
+        #: matrix plus the sparsified/decomposed/warm-started solves;
+        #: ``fast_path=False`` keeps the original scalar reference
+        #: implementation (the equivalence oracle the fast-path tests solve
+        #: against).  ``warm_start`` and ``decompose`` gate the two flat-solve
+        #: layers individually so tests can isolate them.
+        self.fast_path = fast_path
+        self.warm_start = warm_start
+        self.decompose = decompose
         self.timers = timers if timers is not None else NULL_TIMERS
+        # Warm-start states of last round's flat solves, keyed by the exact
+        # (devices, positions) of each solved submatrix; replaced wholesale
+        # every round so only the previous round's states are retained.
+        self._warm_states: Dict[_WarmKey, AssignmentState] = {}
         #: During a zone-outage evacuation the intra-zone clustering
         #: preference is suspended: re-placing the lost pipelines on whatever
         #: survives matters more than keeping pipelines zone-local, and the
@@ -231,6 +269,272 @@ class DeviceMapper:
         return graph
 
     # ------------------------------------------------------------------
+    # Vectorized weight matrix (fast path)
+    # ------------------------------------------------------------------
+    def _weight_lookup(
+        self,
+        meta_context: MetaContextManager,
+        devices: Sequence[DeviceId],
+        positions: Sequence[TopologyPosition],
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]],
+    ) -> _WeightLookup:
+        """Dense weight matrix plus device/position index maps for one round."""
+        matrix = self._weight_matrix(
+            meta_context, devices, new_config, pipeline_inheritance
+        )
+        row_of = {device_id: row for row, device_id in enumerate(devices)}
+        col_of = {position: col for col, position in enumerate(positions)}
+        return matrix, row_of, col_of
+
+    def _weight_matrix(
+        self,
+        meta_context: MetaContextManager,
+        devices: Sequence[DeviceId],
+        new_config: ParallelConfig,
+        pipeline_inheritance: Optional[Dict[int, int]],
+    ) -> np.ndarray:
+        """Reuse-weight matrix, bit-identical to :meth:`reuse_weight` per cell.
+
+        Two observations make this fast without changing a single bit:
+
+        * a device's whole weight row is a function of its *context
+          signature* -- the (degrees, position, batch geometry) of its model
+          and cache contexts -- so the row is computed once per distinct
+          signature and shared across all devices carrying it (a fleet has
+          only O(positions) distinct signatures, not O(devices));
+        * within one signature the row factorises over the new mesh into a
+          per-stage layer overlap times a per-shard interval overlap, so one
+          (P_new,) x (M_new,) outer product replaces P*M scalar calls.
+
+        Bit-identity with the scalar path holds because every numpy
+        expression mirrors the scalar arithmetic operation for operation:
+        the ``max(0.0, min(..) - max(..))`` interval overlaps, the
+        left-associated ``(overlap * bytes) * fraction`` products and the
+        final ``model + cache`` addition are the same IEEE-754 operations in
+        the same order, and the early ``return 0.0`` guards of the scalar
+        code coincide with multiplying by a ``+0.0`` overlap factor
+        (non-negative throughout, so no ``-0.0`` can appear).
+        """
+        model = self.model
+        num_layers = model.num_layers
+        data_degree = new_config.data_degree
+        pipeline_degree = new_config.pipeline_degree
+        tensor_degree = new_config.tensor_degree
+        cells_per_pipeline = pipeline_degree * tensor_degree
+        n_positions = data_degree * cells_per_pipeline
+
+        # New-mesh geometry, shared by every device: stage layer ranges and
+        # shard intervals exactly as stage_layer_range / shard_interval
+        # compute them (int * float products, elementwise).
+        layers_per_stage = num_layers / pipeline_degree
+        stage_idx = np.arange(pipeline_degree)
+        new_layer_lo = stage_idx * layers_per_stage
+        new_layer_hi = (stage_idx + 1) * layers_per_stage
+        shard_width = 1.0 / tensor_degree
+        shard_idx = np.arange(tensor_degree)
+        new_shard_lo = shard_idx * shard_width
+        new_shard_hi = (shard_idx + 1) * shard_width
+
+        def overlap_factors(old_pipeline, old_tensor, old_position):
+            """(per-stage layer overlap, per-shard fraction overlap)."""
+            old_lps = num_layers / old_pipeline
+            old_lo = old_position.stage_index * old_lps
+            old_hi = (old_position.stage_index + 1) * old_lps
+            layer_overlap = np.maximum(
+                0.0, np.minimum(old_hi, new_layer_hi) - np.maximum(old_lo, new_layer_lo)
+            )
+            old_width = 1.0 / old_tensor
+            old_shard_lo = old_position.shard_index * old_width
+            old_shard_hi = (old_position.shard_index + 1) * old_width
+            fraction_overlap = np.maximum(
+                0.0,
+                np.minimum(old_shard_hi, new_shard_hi)
+                - np.maximum(old_shard_lo, new_shard_lo),
+            )
+            return layer_overlap, fraction_overlap
+
+        def signature_row(model_sig, cache_sig):
+            row = np.zeros(n_positions)
+            if model_sig is not None:
+                layer_overlap, fraction_overlap = overlap_factors(*model_sig)
+                # (layer_overlap * layer_param_bytes) * fraction_overlap --
+                # same association as model_context_overlap_bytes.
+                cell = (layer_overlap * model.layer_param_bytes)[:, None] * (
+                    fraction_overlap[None, :]
+                )
+                # The model part ignores the data index (replicas hold
+                # identical parameters): tile across the D pipelines.
+                row += np.tile(cell.ravel(), data_degree)
+            if cache_sig is not None:
+                ctx, batch_size, cached_tokens = cache_sig
+                if cached_tokens > 0 and batch_size > 0:
+                    layer_overlap, fraction_overlap = overlap_factors(
+                        ctx.pipeline_degree, ctx.tensor_degree, ctx.position
+                    )
+                    per_layer_cache = (
+                        2.0
+                        * model.hidden_size
+                        * model.bytes_per_cache_element
+                        * batch_size
+                        * cached_tokens
+                    )
+                    cell = (layer_overlap * per_layer_cache)[:, None] * (
+                        fraction_overlap[None, :]
+                    )
+                    flat_cell = cell.ravel()
+                    old_data_index = ctx.position.data_index
+                    for new_data_index in range(data_degree):
+                        # Cache bytes only transfer into the pipeline that
+                        # inherits the old pipeline's in-flight requests.
+                        inherits = True
+                        if pipeline_inheritance is not None:
+                            inherits = (
+                                pipeline_inheritance.get(old_data_index)
+                                == new_data_index
+                            )
+                        if inherits:
+                            start = new_data_index * cells_per_pipeline
+                            row[start : start + cells_per_pipeline] += flat_cell
+            return row
+
+        matrix = np.zeros((len(devices), n_positions))
+        row_cache: Dict[Tuple, np.ndarray] = {}
+        for row_index, device_id in enumerate(devices):
+            daemon = meta_context.daemon(device_id)
+            model_ctx = daemon.model_context
+            cache_ctx = daemon.cache_context
+            if model_ctx is None and cache_ctx is None:
+                continue  # stateless: the row stays provably all-zero
+            model_sig = (
+                (
+                    model_ctx.pipeline_degree,
+                    model_ctx.tensor_degree,
+                    model_ctx.position,
+                )
+                if model_ctx is not None
+                else None
+            )
+            cache_sig = (
+                (cache_ctx, cache_ctx.batch_size, cache_ctx.cached_tokens)
+                if cache_ctx is not None
+                else None
+            )
+            key = (
+                model_sig,
+                None
+                if cache_ctx is None
+                else (
+                    cache_ctx.pipeline_degree,
+                    cache_ctx.tensor_degree,
+                    cache_ctx.position,
+                    cache_ctx.batch_size,
+                    cache_ctx.cached_tokens,
+                ),
+            )
+            row = row_cache.get(key)
+            if row is None:
+                row = signature_row(model_sig, cache_sig)
+                row_cache[key] = row
+            matrix[row_index] = row
+        return matrix
+
+    def _flat_matching_fast(
+        self,
+        lookup: _WeightLookup,
+        devices: Sequence[DeviceId],
+        positions: Sequence[TopologyPosition],
+    ) -> Dict[DeviceId, TopologyPosition]:
+        """Sparsified + decomposed + warm-started flat matching.
+
+        Three exact reductions shrink the solved matrices:
+
+        * **sparsification** -- devices and positions with provably-zero
+          weight rows/columns never enter the solver; they flow through the
+          zone-aware :meth:`_fill_unassigned` path like any other
+          zero-reuse pair;
+        * **zone decomposition** -- the positive-edge structure decomposes
+          into connected components (in practice: one per zone-local
+          submesh), and since cross-component weights are identically zero
+          (the dominance condition), each component is solved independently;
+          disabled in ``evacuation_mode``, where zone locality is
+          deliberately suspended;
+        * **warm start** -- each component solve is seeded with last round's
+          :class:`AssignmentState` for the same (devices, positions) key;
+          the warm solver is bit-identical to a cold one by construction.
+
+        Matched pairs are committed in global device order, so the FP
+        reuse-sum downstream visits weights in the same order as the
+        reference flat matching.
+        """
+        matrix, _, _ = lookup
+        placement: Dict[DeviceId, TopologyPosition] = {}
+        if not self.use_optimal_matching:
+            # Greedy ablation: positive edges only (zero-weight edges can
+            # never change the matched weight).
+            for row, col in greedy_assignment(matrix):
+                placement[devices[row]] = positions[col]
+            self._fill_unassigned(placement, devices, positions)
+            return placement
+
+        positive_rows = np.flatnonzero(matrix.any(axis=1))
+        positive_cols = np.flatnonzero(matrix.any(axis=0))
+        if positive_rows.size and positive_cols.size:
+            sub = matrix[np.ix_(positive_rows, positive_cols)]
+            if self.decompose and not self.evacuation_mode:
+                components = positive_components(sub)
+            else:
+                components = [
+                    (list(range(sub.shape[0])), list(range(sub.shape[1])))
+                ]
+            next_states: Dict[_WarmKey, AssignmentState] = {}
+            matched: List[Tuple[int, int]] = []
+            # Components with byte-identical matrices (e.g. one per pipeline
+            # stage when old and new shard widths agree) share one solve.
+            component_memo: Dict[Tuple, Tuple] = {}
+            for component_rows, component_cols in components:
+                component_devices = tuple(
+                    devices[positive_rows[r]] for r in component_rows
+                )
+                component_positions = tuple(
+                    positions[positive_cols[c]] for c in component_cols
+                )
+                component_matrix = sub[np.ix_(component_rows, component_cols)]
+                memo_key = (component_matrix.shape, component_matrix.tobytes())
+                memoised = component_memo.get(memo_key)
+                if memoised is None:
+                    if self.warm_start:
+                        key = (component_devices, component_positions)
+                        pairs, state = maximum_weight_assignment(
+                            component_matrix,
+                            initial_assignment=self._warm_states.get(key),
+                            return_state=True,
+                        )
+                    else:
+                        pairs = maximum_weight_assignment(component_matrix)
+                        state = None
+                    component_memo[memo_key] = (pairs, state)
+                else:
+                    pairs, state = memoised
+                if self.warm_start and state is not None:
+                    next_states[(component_devices, component_positions)] = state
+                for row, col in pairs:
+                    matched.append(
+                        (
+                            int(positive_rows[component_rows[row]]),
+                            int(positive_cols[component_cols[col]]),
+                        )
+                    )
+            if self.warm_start:
+                self._warm_states = next_states
+            # Commit in global device order (see docstring).
+            matched.sort()
+            for row, col in matched:
+                placement[devices[row]] = positions[col]
+        self._fill_unassigned(placement, devices, positions)
+        return placement
+
+    # ------------------------------------------------------------------
     # Mapping
     # ------------------------------------------------------------------
     def map_devices(
@@ -286,9 +590,16 @@ class DeviceMapper:
         pipeline_inheritance: Optional[Dict[int, int]],
         cached_tokens_per_pipeline: Optional[Dict[int, Tuple[int, int]]],
     ) -> DeviceMapping:
-        flat_placement = self._flat_matching(
-            meta_context, devices, positions, new_config, pipeline_inheritance
-        )
+        lookup: Optional[_WeightLookup] = None
+        if self.fast_path:
+            lookup = self._weight_lookup(
+                meta_context, devices, positions, new_config, pipeline_inheritance
+            )
+            flat_placement = self._flat_matching_fast(lookup, devices, positions)
+        else:
+            flat_placement = self._flat_matching(
+                meta_context, devices, positions, new_config, pipeline_inheritance
+            )
         placement = flat_placement
         if self.hierarchical and self.gpus_per_instance > 1:
             # The two-step (inter-instance, then intra-instance) matching keeps
@@ -297,23 +608,36 @@ class DeviceMapper:
             # is only adopted when it reuses at least as much as the flat KM
             # matching.
             hierarchical_placement = self._hierarchical_matching(
-                meta_context, devices, positions, new_config, pipeline_inheritance
+                meta_context,
+                devices,
+                positions,
+                new_config,
+                pipeline_inheritance,
+                lookup=lookup,
             )
             if self._placement_reuse(
-                meta_context, hierarchical_placement, new_config, pipeline_inheritance
+                meta_context,
+                hierarchical_placement,
+                new_config,
+                pipeline_inheritance,
+                lookup=lookup,
             ) >= self._placement_reuse(
-                meta_context, flat_placement, new_config, pipeline_inheritance
+                meta_context,
+                flat_placement,
+                new_config,
+                pipeline_inheritance,
+                lookup=lookup,
             ):
                 placement = hierarchical_placement
 
         reused = self._placement_reuse(
-            meta_context, placement, new_config, pipeline_inheritance
+            meta_context, placement, new_config, pipeline_inheritance, lookup=lookup
         )
         required = self._required_bytes(new_config, cached_tokens_per_pipeline)
         return DeviceMapping(
             config=new_config,
             placement=placement,
-            reused_bytes=reused,
+            reused_bytes=float(reused),
             required_bytes=required,
         )
 
@@ -323,8 +647,23 @@ class DeviceMapper:
         placement: Dict[DeviceId, TopologyPosition],
         new_config: ParallelConfig,
         pipeline_inheritance: Optional[Dict[int, int]],
+        lookup: Optional["_WeightLookup"] = None,
     ) -> float:
-        """Total reusable bytes of a concrete placement."""
+        """Total reusable bytes of a concrete placement.
+
+        The sum runs in ``placement`` insertion order in both modes, and the
+        matrix cells equal the scalar weights bitwise, so the fast path's
+        total is bit-identical to the reference one (IEEE-754 addition is
+        deterministic for a fixed operand order).
+        """
+        if lookup is not None:
+            matrix, row_of, col_of = lookup
+            return float(
+                sum(
+                    matrix[row_of[device_id], col_of[position]]
+                    for device_id, position in placement.items()
+                )
+            )
         return sum(
             self._weight(meta_context, device_id, position, new_config, pipeline_inheritance)
             for device_id, position in placement.items()
@@ -361,8 +700,18 @@ class DeviceMapper:
         positions: Sequence[TopologyPosition],
         new_config: ParallelConfig,
         pipeline_inheritance: Optional[Dict[int, int]],
+        lookup: Optional[_WeightLookup] = None,
     ) -> Dict[DeviceId, TopologyPosition]:
-        """Two-step matching: instances to position groups, then GPUs within."""
+        """Two-step matching: instances to position groups, then GPUs within.
+
+        With a *lookup* (fast path) the inner per-(instance, group) solves
+        read submatrices of the round's dense weight matrix instead of
+        issuing scalar weight calls, identical submatrices are solved once
+        (fleets are full of instances sharing a context signature), and the
+        intra-instance placements are materialised lazily -- only for the
+        (instance, group) pairs the outer matching actually selects, rather
+        than eagerly for all n_instances x n_groups combinations.
+        """
         # Group the target positions into instance-sized chunks, keeping the
         # deterministic (d, p, m) order so tensor shards stay co-located.
         ordered = list(positions)
@@ -377,20 +726,80 @@ class DeviceMapper:
 
         instance_ids = sorted(per_instance)
         group_graph: BipartiteGraph = BipartiteGraph()
-        best_inner: Dict[Tuple[str, int], Dict[DeviceId, TopologyPosition]] = {}
         for instance_id in instance_ids:
             group_graph.add_left(instance_id)
         for group_index, group in enumerate(groups):
             group_graph.add_right(group_index)
-        for instance_id in instance_ids:
-            instance_devices = per_instance[instance_id]
-            for group_index, group in enumerate(groups):
-                inner, weight = self._match_within(
-                    meta_context, instance_devices, group, new_config, pipeline_inheritance
+
+        if lookup is not None:
+            matrix, row_of, _ = lookup
+            # groups chunk `positions` in order, so group g occupies the
+            # contiguous column slice [g * gpi, (g + 1) * gpi).
+            inner_pairs: Dict[Tuple[str, int], Optional[List[Tuple[int, int]]]] = {}
+            solve_memo: Dict[Tuple, Tuple[List[Tuple[int, int]], float]] = {}
+            gpi = self.gpus_per_instance
+            n_groups = len(groups)
+            # The common fleet shape -- every instance holds exactly gpi GPUs
+            # and the mesh splits into whole groups -- lets one 4-d reshape
+            # replace the n_instances x n_groups per-block nonzero probes.
+            uniform = len(ordered) == n_groups * gpi and all(
+                len(per_instance[instance_id]) == gpi for instance_id in instance_ids
+            )
+            if uniform:
+                row_block = np.array(
+                    [
+                        [row_of[d] for d in per_instance[instance_id]]
+                        for instance_id in instance_ids
+                    ]
                 )
-                best_inner[(instance_id, group_index)] = inner
-                if weight > 0:
-                    group_graph.set_weight(instance_id, group_index, weight)
+                gathered = matrix[row_block.reshape(-1)].reshape(
+                    len(instance_ids), gpi, n_groups, gpi
+                )
+                nonzero = gathered.any(axis=(1, 3))
+            for instance_index, instance_id in enumerate(instance_ids):
+                if not uniform:
+                    rows = [row_of[d] for d in per_instance[instance_id]]
+                    instance_block = matrix[rows]
+                for group_index in range(n_groups):
+                    if uniform:
+                        if not nonzero[instance_index, group_index]:
+                            # All weights provably zero: positional zip,
+                            # weight 0 (same skip as _match_within).
+                            inner_pairs[(instance_id, group_index)] = None
+                            continue
+                        sub = gathered[instance_index, :, group_index, :]
+                    else:
+                        start = group_index * gpi
+                        sub = instance_block[
+                            :, start : start + len(groups[group_index])
+                        ]
+                        if not sub.any():
+                            inner_pairs[(instance_id, group_index)] = None
+                            continue
+                    memo_key = (sub.shape, sub.tobytes())
+                    memoised = solve_memo.get(memo_key)
+                    if memoised is None:
+                        pairs = maximum_weight_assignment(sub)
+                        # Same summation order as matching_weight: matched
+                        # pairs in row order.
+                        weight = float(sum(sub[r, c] for r, c in pairs))
+                        memoised = (pairs, weight)
+                        solve_memo[memo_key] = memoised
+                    pairs, weight = memoised
+                    inner_pairs[(instance_id, group_index)] = pairs
+                    if weight > 0:
+                        group_graph.set_weight(instance_id, group_index, weight)
+        else:
+            best_inner: Dict[Tuple[str, int], Dict[DeviceId, TopologyPosition]] = {}
+            for instance_id in instance_ids:
+                instance_devices = per_instance[instance_id]
+                for group_index, group in enumerate(groups):
+                    inner, weight = self._match_within(
+                        meta_context, instance_devices, group, new_config, pipeline_inheritance
+                    )
+                    best_inner[(instance_id, group_index)] = inner
+                    if weight > 0:
+                        group_graph.set_weight(instance_id, group_index, weight)
 
         if self.use_optimal_matching:
             instance_matching = group_graph.maximum_weight_matching()
@@ -398,15 +807,44 @@ class DeviceMapper:
             instance_matching = group_graph.greedy_matching()
 
         placement: Dict[DeviceId, TopologyPosition] = {}
-        used_groups: set = set()
         for instance_id, group_index in instance_matching.items():
-            placement.update(best_inner[(instance_id, group_index)])
-            used_groups.add(group_index)
+            if lookup is not None:
+                placement.update(
+                    self._materialise_inner(
+                        per_instance[instance_id],
+                        groups[group_index],
+                        inner_pairs[(instance_id, group_index)],
+                    )
+                )
+            else:
+                placement.update(best_inner[(instance_id, group_index)])
 
         # Instances left unmatched (more instances than groups) contribute no
         # placement; groups left unmatched are filled arbitrarily below.
         self._fill_unassigned(placement, devices, positions)
         return placement
+
+    @staticmethod
+    def _materialise_inner(
+        instance_devices: Sequence[DeviceId],
+        group: Sequence[TopologyPosition],
+        pairs: Optional[List[Tuple[int, int]]],
+    ) -> Dict[DeviceId, TopologyPosition]:
+        """Intra-instance placement from memoised solver pairs.
+
+        Mirrors the reference :meth:`_match_within` result construction
+        exactly: matched pairs first (in solver row order), then the
+        leftover GPUs zipped onto the leftover positions.
+        """
+        if pairs is None:
+            return dict(zip(instance_devices, group))
+        result = {instance_devices[row]: group[col] for row, col in pairs}
+        assigned = set(result.values())
+        free_devices = [d for d in instance_devices if d not in result]
+        free_positions = [p for p in group if p not in assigned]
+        for device_id, position in zip(free_devices, free_positions):
+            result[device_id] = position
+        return result
 
     def _match_within(
         self,
@@ -456,8 +894,9 @@ class DeviceMapper:
         # Deterministically fill any unmatched positions of the group with the
         # instance's remaining GPUs (zero-weight pairs, so the matched weight
         # is unchanged).
+        assigned = set(result.values())
         free_devices = [d for d in instance_devices if d not in result]
-        free_positions = [p for p in group if p not in result.values()]
+        free_positions = [p for p in group if p not in assigned]
         for device_id, position in zip(free_devices, free_positions):
             result[device_id] = position
         return result, matched_weight

@@ -1,0 +1,490 @@
+"""Equivalence tests for the warm-started, zone-decomposed map phase.
+
+The map-phase fast path rests on four claims, each pinned here:
+
+* the vectorized weight matrix is **bitwise** equal to the scalar
+  :meth:`DeviceMapper.reuse_weight`, cell by cell;
+* a warm-started assignment solve is **bit-identical** to a cold solve of
+  the same matrix, for any seed state (the solver resumes the reference
+  sweep from a verified row prefix rather than re-deriving a merely-optimal
+  answer);
+* per-zone / per-component decomposition only fires when its dominance
+  condition holds (no positive edge crosses a component boundary) and then
+  matches the global solve's total matched weight exactly;
+* the fast path end to end -- sparsified flat solve, decomposed components,
+  memoised hierarchical inner solves, warm states carried across rounds --
+  produces the same placements and the same reused-byte totals as the
+  scalar reference implementation (``fast_path=False``) under randomized
+  fleet churn.
+"""
+
+import importlib.util
+import json
+import random
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import ParallelConfig
+from repro.core.device_mapper import DeviceMapper
+from repro.engine.context import MetaContextManager
+from repro.engine.placement import mesh_positions
+from repro.llm.spec import GPT_20B, OPT_6_7B
+from repro.matching.bipartite import positive_components
+from repro.matching.hungarian import (
+    assignment_weight,
+    greedy_assignment,
+    maximum_weight_assignment,
+    minimum_cost_assignment,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def random_matrix(rng, rows, cols, sparsity=0.5, integers=False):
+    matrix = rng.random((rows, cols))
+    matrix[rng.random((rows, cols)) < sparsity] = 0.0
+    if integers:
+        matrix = np.floor(matrix * 100)
+    return matrix
+
+
+class TestWarmStartSolver:
+    def test_identical_matrix_is_a_full_cache_hit(self):
+        rng = np.random.default_rng(7)
+        cost = rng.random((12, 12))
+        cold, state = minimum_cost_assignment(cost, return_state=True)
+        assert state.resumed_from == 0
+        warm, warm_state = minimum_cost_assignment(
+            cost, initial_assignment=state, return_state=True
+        )
+        assert warm == cold
+        assert warm_state.resumed_from == cost.shape[0]
+
+    def test_suffix_change_resumes_mid_sweep(self):
+        rng = np.random.default_rng(11)
+        cost = rng.random((14, 14))
+        cold, state = minimum_cost_assignment(cost, return_state=True)
+        changed = cost.copy()
+        changed[-1] = rng.random(14)
+        warm, warm_state = minimum_cost_assignment(
+            changed, initial_assignment=state, return_state=True
+        )
+        # Only the last row differs, so the sweep reuses all prior rows ...
+        assert warm_state.resumed_from == cost.shape[0] - 1
+        # ... and still equals a cold solve bit for bit.
+        assert warm == minimum_cost_assignment(changed)
+
+    def test_shape_change_falls_back_to_cold(self):
+        rng = np.random.default_rng(13)
+        cost = rng.random((10, 10))
+        _, state = minimum_cost_assignment(cost, return_state=True)
+        grown = rng.random((11, 11))
+        warm, warm_state = minimum_cost_assignment(
+            grown, initial_assignment=state, return_state=True
+        )
+        assert warm_state.resumed_from == 0
+        assert warm == minimum_cost_assignment(grown)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_round_chain_matches_cold_each_round(self, seed):
+        """Random per-round deltas; the threaded warm state never diverges."""
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(3, 18))
+        cost = rng.random((size, size))
+        state = None
+        for _ in range(8):
+            delta_kind = rng.integers(0, 4)
+            if delta_kind == 0:
+                # Perturb a random suffix of rows (fleet tail churn).
+                row = int(rng.integers(0, size))
+                cost[row:] = rng.random((size - row, size))
+            elif delta_kind == 1:
+                # Whole new matrix (config change).
+                size = int(rng.integers(3, 18))
+                cost = rng.random((size, size))
+            elif delta_kind == 2:
+                # Single-cell bump.
+                cost[rng.integers(0, size), rng.integers(0, size)] = rng.random()
+            # delta_kind == 3: unchanged matrix (full cache hit).
+            warm, state = minimum_cost_assignment(
+                cost, initial_assignment=state, return_state=True
+            )
+            assert warm == minimum_cost_assignment(cost)
+
+    def test_rectangular_warm_start(self):
+        rng = np.random.default_rng(17)
+        weights = random_matrix(rng, 9, 5)
+        cold, state = maximum_weight_assignment(weights, return_state=True)
+        warm, _ = maximum_weight_assignment(
+            weights, initial_assignment=state, return_state=True
+        )
+        assert warm == cold
+        assert all(row < 9 and col < 5 for row, col in warm)
+
+
+class TestGreedySkipsZeroEdges:
+    def test_no_zero_weight_pairs_are_matched(self):
+        rng = np.random.default_rng(23)
+        weights = random_matrix(rng, 10, 8, sparsity=0.8)
+        pairs = greedy_assignment(weights)
+        assert all(weights[row, col] > 0 for row, col in pairs)
+
+    def test_matched_weight_equals_dense_enumeration(self):
+        """Skipping zero edges cannot change the greedy matched weight."""
+
+        def dense_greedy(weights):
+            weights = np.asarray(weights, dtype=float)
+            edges = [
+                (weights[r, c], r, c)
+                for r in range(weights.shape[0])
+                for c in range(weights.shape[1])
+            ]
+            edges.sort(key=lambda item: (-item[0], item[1], item[2]))
+            used_rows, used_cols, result = set(), set(), []
+            for _, r, c in edges:
+                if r in used_rows or c in used_cols:
+                    continue
+                used_rows.add(r)
+                used_cols.add(c)
+                result.append((r, c))
+            return result
+
+        rng = np.random.default_rng(29)
+        for _ in range(50):
+            weights = random_matrix(
+                rng, int(rng.integers(1, 9)), int(rng.integers(1, 9)), sparsity=0.6
+            )
+            sparse = greedy_assignment(weights)
+            dense = dense_greedy(weights)
+            assert assignment_weight(weights, sparse) == assignment_weight(
+                weights, dense
+            )
+            # The sparse result is exactly the dense result minus zero edges.
+            assert sparse == [(r, c) for r, c in dense if weights[r, c] > 0]
+
+    def test_all_zero_matrix_matches_nothing(self):
+        assert greedy_assignment(np.zeros((4, 6))) == []
+
+
+class TestPositiveComponents:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_dominance_condition_holds(self, seed):
+        """No positive weight ever crosses a component boundary."""
+        rng = np.random.default_rng(seed)
+        weights = random_matrix(
+            rng, int(rng.integers(1, 20)), int(rng.integers(1, 20)), sparsity=0.85
+        )
+        components = positive_components(weights)
+        for i, (rows_a, cols_a) in enumerate(components):
+            for j, (rows_b, cols_b) in enumerate(components):
+                if i == j:
+                    continue
+                assert not weights[np.ix_(rows_a, cols_b)].any()
+                assert not weights[np.ix_(rows_b, cols_a)].any()
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_components_cover_every_positive_cell(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        weights = random_matrix(
+            rng, int(rng.integers(1, 20)), int(rng.integers(1, 20)), sparsity=0.85
+        )
+        components = positive_components(weights)
+        covered = np.zeros_like(weights, dtype=bool)
+        all_rows, all_cols = [], []
+        for rows, cols in components:
+            covered[np.ix_(rows, cols)] = True
+            all_rows.extend(rows)
+            all_cols.extend(cols)
+        assert covered[weights > 0].all()
+        # Components are disjoint on both sides.
+        assert len(all_rows) == len(set(all_rows))
+        assert len(all_cols) == len(set(all_cols))
+        # Vertices without a positive edge belong to no component.
+        assert set(all_rows) == set(np.flatnonzero(weights.any(axis=1)).tolist())
+        assert set(all_cols) == set(np.flatnonzero(weights.any(axis=0)).tolist())
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_decomposed_solve_matches_global_solve(self, seed):
+        """When the dominance condition holds, solving per component is exact.
+
+        Integer weights keep the totals exactly representable, so the
+        equality is exact, not approximate.
+        """
+        rng = np.random.default_rng(200 + seed)
+        weights = random_matrix(
+            rng,
+            int(rng.integers(1, 16)),
+            int(rng.integers(1, 16)),
+            sparsity=0.85,
+            integers=True,
+        )
+        global_total = assignment_weight(weights, maximum_weight_assignment(weights))
+        decomposed_total = 0.0
+        for rows, cols in positive_components(weights):
+            sub = weights[np.ix_(rows, cols)]
+            decomposed_total += assignment_weight(sub, maximum_weight_assignment(sub))
+        assert decomposed_total == global_total
+
+
+def devices_for(num_instances, gpus_per_instance=4, prefix="inst"):
+    return [
+        (f"{prefix}-{i:02d}", g)
+        for i in range(num_instances)
+        for g in range(gpus_per_instance)
+    ]
+
+
+def random_fleet_state(rng, model):
+    """Random meta-context state: some instances stateful, some fresh."""
+    meta = MetaContextManager(model)
+    n_instances = int(rng.integers(2, 9))
+    devices = devices_for(n_instances)
+    old = ParallelConfig(
+        int(rng.choice([1, 2])),
+        int(rng.choice([1, 2, 3])),
+        int(rng.choice([2, 4, 8])),
+        8,
+    )
+    positions = mesh_positions(old.data_degree, old.pipeline_degree, old.tensor_degree)
+    for device, position in zip(devices, positions):
+        if rng.random() < 0.8:
+            meta.daemon(device).install_model_context(
+                old.pipeline_degree, old.tensor_degree, position
+            )
+        if rng.random() < 0.4:
+            meta.daemon(device).install_cache_context(
+                old.pipeline_degree,
+                old.tensor_degree,
+                position,
+                batch_size=int(rng.integers(1, 9)),
+                cached_tokens=int(rng.integers(1, 700)),
+            )
+    return meta, devices, old
+
+
+class TestWeightMatrixBitIdentity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_vectorized_matrix_equals_scalar_weights_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        model = GPT_20B if seed % 2 else OPT_6_7B
+        meta, devices, old = random_fleet_state(rng, model)
+        new = ParallelConfig(
+            int(rng.choice([1, 2])),
+            int(rng.choice([1, 2, 3])),
+            int(rng.choice([2, 4, 8])),
+            8,
+        )
+        inheritance = None
+        if rng.random() < 0.5:
+            inheritance = {
+                d: int(rng.integers(0, new.data_degree))
+                for d in range(old.data_degree)
+            }
+        mapper = DeviceMapper(model)
+        positions = mesh_positions(
+            new.data_degree, new.pipeline_degree, new.tensor_degree
+        )
+        matrix, row_of, col_of = mapper._weight_lookup(
+            meta, devices, positions, new, inheritance
+        )
+        for device in devices:
+            for position in positions:
+                reference = mapper.reuse_weight(meta, device, position, new, inheritance)
+                cell = float(matrix[row_of[device], col_of[position]])
+                # Bitwise: exact equality *and* no -0.0 creeping in.
+                assert cell == reference
+                assert np.signbit(cell) == np.signbit(reference)
+
+
+class TestFastPathEquivalence:
+    """Randomized fleet deltas over rounds: warm fast path == cold reference."""
+
+    @staticmethod
+    def random_round(rng, meta, devices, old):
+        """Apply one random fleet delta, then pick a round's inputs."""
+        delta = rng.integers(0, 4)
+        if delta == 0 and len({d[0] for d in devices}) > 2:
+            # Preemption: drop a random instance and its contexts.
+            victim = sorted({d[0] for d in devices})[
+                int(rng.integers(0, len({d[0] for d in devices})))
+            ]
+            meta.drop_instance(victim)
+            devices = [d for d in devices if d[0] != victim]
+        elif delta == 1:
+            # Acquisition: a fresh (stateless) instance joins.
+            index = len({d[0] for d in devices}) + int(rng.integers(10, 90))
+            devices = devices + devices_for(1, prefix=f"new-{index:02d}")
+        # delta in (2, 3): fleet unchanged this round.
+        while True:
+            new = ParallelConfig(
+                int(rng.choice([1, 2])),
+                int(rng.choice([1, 2, 3])),
+                int(rng.choice([2, 4])),
+                8,
+            )
+            if new.num_gpus <= len(devices):
+                return devices, new
+
+    @staticmethod
+    def zone_of(instance_id):
+        return f"z{int(instance_id.split('-')[1]) % 3}"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_warm_fast_path_matches_cold_each_round(self, seed):
+        rng = np.random.default_rng(seed)
+        model = GPT_20B if seed % 2 else OPT_6_7B
+        meta, devices, old = random_fleet_state(rng, model)
+        zone_of = self.zone_of if seed % 3 == 0 else None
+
+        warm = DeviceMapper(model, zone_of=zone_of)  # fast path, warm states persist
+        reference = DeviceMapper(model, zone_of=zone_of, fast_path=False)
+        for round_index in range(6):
+            devices, new = self.random_round(rng, meta, devices, old)
+            inheritance = None
+            if rng.random() < 0.5:
+                inheritance = {
+                    d: int(rng.integers(0, new.data_degree))
+                    for d in range(old.data_degree)
+                }
+            # A *fresh* fast mapper is a cold solve: no warm state to seed.
+            cold = DeviceMapper(model, zone_of=zone_of)
+            warm_mapping = warm.map_devices(meta, devices, new, inheritance)
+            cold_mapping = cold.map_devices(meta, devices, new, inheritance)
+            ref_mapping = reference.map_devices(meta, devices, new, inheritance)
+            # Warm vs cold: bit-identical, down to dict order.
+            assert warm_mapping.placement == cold_mapping.placement
+            assert list(warm_mapping.placement) == list(cold_mapping.placement)
+            assert warm_mapping.reused_bytes == cold_mapping.reused_bytes
+            # The hierarchical matching -- the branch that decides the golden
+            # digests -- must be bit-identical between the fast and the
+            # scalar reference implementation (the flat branch may tie-break
+            # differently after sparsification; its total is checked below).
+            positions = mesh_positions(
+                new.data_degree, new.pipeline_degree, new.tensor_degree
+            )
+            lookup = warm._weight_lookup(meta, devices, positions, new, inheritance)
+            fast_hier = warm._hierarchical_matching(
+                meta, devices, positions, new, inheritance, lookup=lookup
+            )
+            ref_hier = reference._hierarchical_matching(
+                meta, devices, positions, new, inheritance
+            )
+            assert fast_hier == ref_hier
+            assert list(fast_hier) == list(ref_hier)
+            # Reuse accounting: both flat solves are optimal matchings of the
+            # same matrix, so the totals agree (up to FP summation order of
+            # equal-total matchings).
+            assert warm_mapping.required_bytes == ref_mapping.required_bytes
+            assert warm_mapping.reused_bytes == pytest.approx(
+                ref_mapping.reused_bytes, rel=1e-12, abs=1e-6
+            )
+
+    @staticmethod
+    def stateful_fleet(model=GPT_20B, num_instances=6):
+        meta = MetaContextManager(model)
+        devices = devices_for(num_instances)
+        config = ParallelConfig(2, 3, 4, 8)
+        positions = mesh_positions(
+            config.data_degree, config.pipeline_degree, config.tensor_degree
+        )
+        for device, position in zip(devices, positions):
+            meta.daemon(device).install_model_context(
+                config.pipeline_degree, config.tensor_degree, position
+            )
+        return meta, devices, config
+
+    def test_evacuation_mode_disables_decomposition(self, monkeypatch):
+        import repro.core.device_mapper as dm
+
+        calls = []
+        original = dm.positive_components
+
+        def counting(weights):
+            calls.append(weights.shape)
+            return original(weights)
+
+        monkeypatch.setattr(dm, "positive_components", counting)
+        meta, devices, config = self.stateful_fleet()
+        mapper = DeviceMapper(GPT_20B)
+        mapper.map_devices(meta, devices, config)
+        assert calls  # decomposition ran in normal mode
+        calls.clear()
+        mapper.evacuation_mode = True
+        mapping = mapper.map_devices(meta, devices, config)
+        assert not calls  # suspended during evacuation
+        reference = DeviceMapper(GPT_20B, fast_path=False)
+        reference.evacuation_mode = True
+        assert mapping.placement == reference.map_devices(meta, devices, config).placement
+
+    def test_decompose_flag_off_matches_reference(self):
+        meta, devices, config = self.stateful_fleet(model=OPT_6_7B)
+        plain = DeviceMapper(OPT_6_7B, decompose=False, warm_start=False)
+        reference = DeviceMapper(OPT_6_7B, fast_path=False)
+        a = plain.map_devices(meta, devices, config)
+        b = reference.map_devices(meta, devices, config)
+        assert a.placement == b.placement
+        assert a.reused_bytes == b.reused_bytes
+
+
+class TestPerfCheckMapGuard:
+    """run_perf.py --check guards the map phase's ms/call per scenario."""
+
+    @staticmethod
+    def load_run_perf():
+        spec = importlib.util.spec_from_file_location(
+            "run_perf", REPO_ROOT / "benchmarks" / "perf" / "run_perf.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def report(map_ms, round_ms=5.0, events=50000.0):
+        return {
+            "adaptation_round_ms": round_ms,
+            "sim_events_per_sec": events,
+            "phases": {"map": {"seconds": 1.0, "calls": 10, "ms_per_call": map_ms}},
+        }
+
+    def baseline(self, tmp_path, map_ms):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "scenarios": {
+                        "s": {"adaptation_round_ms": 10.0, "map_ms_per_call": map_ms}
+                    }
+                }
+            )
+        )
+        return path
+
+    def test_map_regression_fails_the_check(self, tmp_path):
+        run_perf = self.load_run_perf()
+        baseline = self.baseline(tmp_path, 4.0)
+        # 20 ms/call vs committed 4.0 at 2x tolerance: regression.
+        assert (
+            run_perf.check_regression(
+                {"s": self.report(map_ms=20.0)}, baseline, max_regression=2.0
+            )
+            == 1
+        )
+
+    def test_map_within_limit_passes(self, tmp_path):
+        run_perf = self.load_run_perf()
+        baseline = self.baseline(tmp_path, 4.0)
+        assert (
+            run_perf.check_regression(
+                {"s": self.report(map_ms=7.9)}, baseline, max_regression=2.0
+            )
+            == 0
+        )
+
+    def test_scenario_without_map_calls_skips_the_guard(self, tmp_path):
+        run_perf = self.load_run_perf()
+        baseline = self.baseline(tmp_path, 4.0)
+        report = self.report(map_ms=0.0)
+        report["phases"] = {}
+        assert run_perf.check_regression({"s": report}, baseline, 2.0) == 0
