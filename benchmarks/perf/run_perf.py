@@ -221,7 +221,7 @@ def measure(name: str) -> Dict:
 def check_regression(reports: Dict[str, Dict], baseline_path: Path, max_regression: float) -> int:
     """Compare measured rounds against the committed baseline; 0 == pass.
 
-    Three guards per scenario, all optional in the baseline JSON:
+    Four guards per scenario, all optional in the baseline JSON:
 
     * ``adaptation_round_ms`` -- fails when the measured round exceeds the
       committed value times ``--max-regression``;
@@ -229,6 +229,10 @@ def check_regression(reports: Dict[str, Dict], baseline_path: Path, max_regressi
       ``map`` phase exceeds the committed value times ``--max-regression``
       (guards the device-mapper fast path specifically, so a mapper
       regression cannot hide inside an otherwise-fast round);
+    * ``plan_ms_per_call`` -- same per-phase guard for the migration
+      planner's fast path.  Scenarios without reconfiguring rounds (the
+      pinned-fleet ``overload``) record no ``plan`` phase and skip the
+      guard with a message, like the map guard;
     * ``min_sim_events_per_sec`` -- fails when the event-loop throughput
       drops below the committed floor (already padded for slow runners, so
       no multiplier is applied).
@@ -239,8 +243,14 @@ def check_regression(reports: Dict[str, Dict], baseline_path: Path, max_regressi
         entry = baseline.get("scenarios", {}).get(name, {})
         allowed = entry.get("adaptation_round_ms")
         map_allowed = entry.get("map_ms_per_call")
+        plan_allowed = entry.get("plan_ms_per_call")
         min_events = entry.get("min_sim_events_per_sec")
-        if allowed is None and map_allowed is None and min_events is None:
+        if (
+            allowed is None
+            and map_allowed is None
+            and plan_allowed is None
+            and min_events is None
+        ):
             print(f"[check] {name}: no committed baseline, skipping")
             continue
         if allowed is not None:
@@ -264,6 +274,21 @@ def check_regression(reports: Dict[str, Dict], baseline_path: Path, max_regressi
                 print(
                     f"[check] {name}: map {measured:.2f} ms/call vs baseline "
                     f"{map_allowed:.2f} (limit {limit:.2f}, x{max_regression:g}) "
+                    f"-> {verdict}"
+                )
+                if measured > limit and name not in failures:
+                    failures.append(name)
+        if plan_allowed is not None:
+            plan_phase = report.get("phases", {}).get("plan")
+            if plan_phase is None:
+                print(f"[check] {name}: no plan phase measured, skipping plan guard")
+            else:
+                measured = plan_phase["ms_per_call"]
+                limit = plan_allowed * max_regression
+                verdict = "OK" if measured <= limit else "REGRESSION"
+                print(
+                    f"[check] {name}: plan {measured:.2f} ms/call vs baseline "
+                    f"{plan_allowed:.2f} (limit {limit:.2f}, x{max_regression:g}) "
                     f"-> {verdict}"
                 )
                 if measured > limit and name not in failures:

@@ -18,15 +18,59 @@ comes from the :class:`~repro.sim.network.NetworkModel`; context that no
 surviving GPU holds any more must be fetched from cloud storage instead,
 which is dramatically slower and corresponds to the paper's fault-tolerance
 fallback of reloading weights from S3/disk.
+
+Fast path
+---------
+
+``plan`` runs on every reconfiguring adaptation round, and after the map
+phase got its fast path the planner became the largest remaining control
+cost.  The default ``fast_path=True`` applies the same playbook as the
+device mapper, in four layers, each provably byte-identical to the scalar
+reference (``fast_path=False``):
+
+1. **Geometry interning** — ``stage_layer_range`` / ``shard_interval`` /
+   ``stage_layers`` are pure functions of small integer signatures and are
+   memoised at module level; holder tables are built per distinct
+   (degrees, stage, shard) context signature instead of per device.
+2. **Signature-grouped step construction** — the sorted source candidate
+   order for a destination depends on the destination only through its
+   instance (when that instance holds the layer) or its zone (when it does
+   not), so the ranked candidate list and the greedy piece decomposition
+   are computed once per (layer, rank class, needed segment) and the
+   resulting ``Transfer`` lists instantiated per device.  The greedy code
+   itself is shared with the reference path (``_pieces_from_sources``), so
+   equivalence reduces to the candidate order being equal — which it is,
+   because the sort key ``(not same_instance, not same_zone, device_id)``
+   is a total order (device ids are unique).
+3. **Cross-round plan memoisation** — the finished plan is a pure function
+   of (context signatures, placement, config, cache requirements,
+   evacuation mode, buffer budget, network spec and zones), so repeated
+   (placement, placement) shapes across rounds return the cached
+   :class:`MigrationPlan` object.  The serving system invalidates the memo
+   when an instance's context is dropped from the meta-context.
+4. **Ordering fast path** — ``_buffer_deltas`` is computed once per step
+   and the deferred-layer greedy argmin is evaluated as a numpy sweep over
+   an (instances x layers) delta matrix, with dead columns masked to +inf
+   so ``argmin``'s first-occurrence rule reproduces the reference's
+   strict-less first-min tie-break exactly.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..engine.context import DeviceId, MetaContextManager
-from ..engine.placement import TopologyPosition, shard_interval, stage_layer_range
+from ..engine.placement import (
+    TopologyPosition,
+    shard_interval,
+    stage_layer_range,
+    stage_layers,
+)
 from ..llm.memory import DEFAULT_MIGRATION_BUFFER_BYTES
 from ..llm.spec import ModelSpec
 from ..perf import NULL_TIMERS, PhaseTimers
@@ -39,6 +83,45 @@ from .device_mapper import DeviceMapping
 #: per instance a 120 B-parameter GPT (480 GB fp32 over 8 instances) takes
 #: about two minutes, matching the paper's observation.
 DEFAULT_STORAGE_BANDWIDTH = 1.0 * 1024 ** 3
+
+
+@lru_cache(maxsize=1024)
+def _stage_counts(num_layers: int, pipeline_degree: int) -> Tuple[int, ...]:
+    """Layers per stage, mirroring ``_stage_of_layer`` exactly.
+
+    Computed as the same ``int(layer / layers_per_stage)`` float division
+    the scalar ``_stage_of_layer`` performs (element-wise, then truncated),
+    NOT from the ceil-range boundaries of :func:`stage_layers` — division
+    and multiplication can round differently at stage boundaries, and the
+    stage counts must agree with ``_stage_of_layer`` or ``stages_ready``
+    bookkeeping would drift.
+    """
+    if num_layers <= 0:
+        return (0,) * pipeline_degree
+    layers_per_stage = num_layers / pipeline_degree
+    stage_of = np.minimum(
+        (np.arange(num_layers) / layers_per_stage).astype(np.int64),
+        pipeline_degree - 1,
+    )
+    return tuple(
+        int(count) for count in np.bincount(stage_of, minlength=pipeline_degree)
+    )
+
+
+@lru_cache(maxsize=4096)
+def _context_span(
+    num_layers: int,
+    pipeline_degree: int,
+    tensor_degree: int,
+    stage_index: int,
+    shard_index: int,
+) -> Tuple[int, int, Tuple[float, float]]:
+    """Interned ``(first_layer, last_layer+1, shard_interval)`` of a context."""
+    owned_layers = stage_layers(num_layers, pipeline_degree, stage_index)
+    interval = shard_interval(tensor_degree, shard_index)
+    if not owned_layers:
+        return 0, 0, interval
+    return owned_layers[0], owned_layers[-1] + 1, interval
 
 
 @dataclass
@@ -84,6 +167,11 @@ class MigrationPlan:
 class MigrationPlanner:
     """Implements Algorithm 2 (progressive + memory-optimised migration)."""
 
+    #: Cross-round plan-memo capacity.  The adaptation loop revisits a
+    #: handful of (placement, placement) shapes between fleet changes, so a
+    #: small LRU captures the hits while bounding retained Transfer lists.
+    PLAN_MEMO_SIZE = 16
+
     def __init__(
         self,
         model: ModelSpec,
@@ -94,6 +182,7 @@ class MigrationPlanner:
         storage_bandwidth: float = DEFAULT_STORAGE_BANDWIDTH,
         engine_restart_time: float = 10.0,
         timers: Optional[PhaseTimers] = None,
+        fast_path: bool = True,
     ) -> None:
         self.model = model
         self.network = network or NetworkModel()
@@ -103,6 +192,9 @@ class MigrationPlanner:
         self.storage_bandwidth = storage_bandwidth
         self.engine_restart_time = engine_restart_time
         self.timers = timers if timers is not None else NULL_TIMERS
+        #: ``False`` runs the scalar reference implementation the
+        #: equivalence tests solve against.
+        self.fast_path = fast_path
         #: During a zone-outage evacuation the same-zone source preference is
         #: suspended: the richest context sources are the doomed zone itself,
         #: and every pull out of it is cross-zone by definition, so ranking
@@ -110,6 +202,9 @@ class MigrationPlanner:
         #: best sources.  Toggled by the serving system alongside
         #: ``DeviceMapper.evacuation_mode``.
         self.evacuation_mode = False
+        self._plan_memo: "OrderedDict[Tuple, MigrationPlan]" = OrderedDict()
+        self.plan_memo_hits = 0
+        self.plan_memo_misses = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -134,24 +229,43 @@ class MigrationPlanner:
         """
         with self.timers.phase("plan"):
             cache_requirements = cache_requirements or {}
-            config = mapping.config
-            layer_steps = self._plan_layer_steps(meta_context, mapping)
-            cache_step = self._plan_cache_step(meta_context, mapping, cache_requirements)
+            if not self.fast_path:
+                return self._build_plan(meta_context, mapping, cache_requirements)
+            # One walk of the meta-context feeds the memo key, the holder
+            # tables and the per-destination own-context lookups.
+            context_map: Dict[DeviceId, Tuple] = {}
+            for device_id in meta_context.devices():
+                daemon = meta_context.daemon(device_id)
+                mctx = daemon.model_context
+                cctx = daemon.cache_context
+                if mctx is not None or cctx is not None:
+                    context_map[device_id] = (mctx, cctx)
+            zones = self._zones_for(context_map, mapping)
+            key = self._plan_memo_key(context_map, mapping, cache_requirements, zones)
+            cached = self._plan_memo.get(key)
+            if cached is not None:
+                self._plan_memo.move_to_end(key)
+                self.plan_memo_hits += 1
+                return cached
+            self.plan_memo_misses += 1
+            built = self._build_plan_fast(
+                context_map, mapping, cache_requirements, zones
+            )
+            self._plan_memo[key] = built
+            while len(self._plan_memo) > self.PLAN_MEMO_SIZE:
+                self._plan_memo.popitem(last=False)
+            return built
 
-            layer_order = self._order_layers(layer_steps, mapping)
-            ordered_steps: List[MigrationStep] = []
-            if cache_step.transfers or cache_step.storage_bytes:
-                ordered_steps.append(cache_step)
-            stage_remaining = self._layers_per_stage(config)
-            for layer_index in layer_order:
-                step = layer_steps[layer_index]
-                stage = self._stage_of_layer(layer_index, config)
-                stage_remaining[stage] -= 1
-                if stage_remaining[stage] == 0:
-                    step.stages_ready.append(stage)
-                ordered_steps.append(step)
+    def invalidate_plan_memo(self) -> None:
+        """Drop every memoised plan.
 
-            return self._finalize(ordered_steps, layer_order, config)
+        Called by the serving system when an instance's context leaves the
+        meta-context: keys naming the vanished devices can never hit again,
+        so clearing merely bounds retained memory — correctness never
+        depends on it, because every context/placement/config input is part
+        of the memo key.
+        """
+        self._plan_memo.clear()
 
     def estimate_restart_plan(
         self, config: ParallelConfig, gpus_per_instance: int = 4
@@ -180,7 +294,128 @@ class MigrationPlanner:
         )
 
     # ------------------------------------------------------------------
-    # Step construction
+    # Plan assembly (shared by both paths)
+    # ------------------------------------------------------------------
+    def _build_plan(
+        self,
+        meta_context: MetaContextManager,
+        mapping: DeviceMapping,
+        cache_requirements: Dict[int, Tuple[int, int, int]],
+    ) -> MigrationPlan:
+        """Scalar reference build: per-device scans of the meta-context."""
+        layer_steps = self._plan_layer_steps(meta_context, mapping)
+        cache_step = self._plan_cache_step(meta_context, mapping, cache_requirements)
+        return self._assemble(layer_steps, cache_step, mapping)
+
+    def _build_plan_fast(
+        self,
+        context_map: Dict[DeviceId, Tuple],
+        mapping: DeviceMapping,
+        cache_requirements: Dict[int, Tuple[int, int, int]],
+        zones: Dict[str, Optional[str]],
+    ) -> MigrationPlan:
+        """Fast build: signature-grouped steps off the shared context walk."""
+        layer_steps = self._plan_layer_steps_fast(context_map, mapping, zones)
+        cache_step = self._plan_cache_step_fast(
+            context_map, mapping, cache_requirements, zones
+        )
+        return self._assemble(layer_steps, cache_step, mapping)
+
+    def _assemble(
+        self,
+        layer_steps: Dict[int, MigrationStep],
+        cache_step: MigrationStep,
+        mapping: DeviceMapping,
+    ) -> MigrationPlan:
+        config = mapping.config
+        layer_order = self._order_layers(layer_steps, mapping)
+        ordered_steps: List[MigrationStep] = []
+        if cache_step.transfers or cache_step.storage_bytes:
+            ordered_steps.append(cache_step)
+        stage_remaining = self._layers_per_stage(config)
+        for layer_index in layer_order:
+            step = layer_steps[layer_index]
+            stage = self._stage_of_layer(layer_index, config)
+            stage_remaining[stage] -= 1
+            if stage_remaining[stage] == 0:
+                step.stages_ready.append(stage)
+            ordered_steps.append(step)
+
+        return self._finalize(ordered_steps, layer_order, config)
+
+    def _zones_for(
+        self, context_map: Dict[DeviceId, Tuple], mapping: DeviceMapping
+    ) -> Dict[str, Optional[str]]:
+        """Zone per instance, resolved through ``zone_of`` once per plan.
+
+        Covers every instance appearing in the context map or the placement;
+        empty when the network model has no zone function.  Built with the
+        *real* ``zone_of`` even in evacuation mode — the memo key always
+        captures true zones; only source *ranking* ignores them.
+        """
+        zone_of = self.network.zone_of
+        zones: Dict[str, Optional[str]] = {}
+        if zone_of is None:
+            return zones
+        for device_id in context_map:
+            instance = device_id[0]
+            if instance not in zones:
+                zones[instance] = zone_of(instance)
+        for device_id in mapping.placement:
+            instance = device_id[0]
+            if instance not in zones:
+                zones[instance] = zone_of(instance)
+        return zones
+
+    def _plan_memo_key(
+        self,
+        context_map: Dict[DeviceId, Tuple],
+        mapping: DeviceMapping,
+        cache_requirements: Dict[int, Tuple[int, int, int]],
+        zones: Dict[str, Optional[str]],
+    ) -> Tuple:
+        """Exact inputs the plan is a function of, as a hashable key.
+
+        Context entries are sorted by device id (holder build order cannot
+        affect the plan — the candidate sort key is a total order), but
+        ``placement`` and ``cache_requirements`` keep their iteration order
+        because it determines ``Transfer`` ordering inside steps.  Zones are
+        captured per instance so the key does not rely on ``zone_of``
+        stability.
+        """
+        context_entries = []
+        for device_id, (mctx, cctx) in context_map.items():
+            msig = (
+                (mctx.pipeline_degree, mctx.tensor_degree, mctx.position)
+                if mctx is not None
+                else None
+            )
+            csig = (
+                (cctx.pipeline_degree, cctx.tensor_degree, cctx.position)
+                if cctx is not None
+                else None
+            )
+            context_entries.append((device_id, zones.get(device_id[0]), msig, csig))
+        context_entries.sort(key=lambda entry: entry[0])
+        placement_sig = tuple(
+            (device_id, zones.get(device_id[0]), position)
+            for device_id, position in mapping.placement.items()
+        )
+        return (
+            tuple(context_entries),
+            mapping.config,
+            placement_sig,
+            tuple(cache_requirements.items()),
+            self.evacuation_mode,
+            self.max_buffer_bytes,
+            self.memory_optimized,
+            self.progressive,
+            self.storage_bandwidth,
+            self.network.spec,
+        )
+
+    # ------------------------------------------------------------------
+    # Step construction (scalar reference)
     # ------------------------------------------------------------------
     def _plan_layer_steps(
         self, meta_context: MetaContextManager, mapping: DeviceMapping
@@ -273,6 +508,254 @@ class MigrationPlanner:
         return step
 
     # ------------------------------------------------------------------
+    # Step construction (fast path)
+    # ------------------------------------------------------------------
+    def _rank_class(
+        self,
+        layer_key: Tuple,
+        instance: str,
+        dest_zone: Optional[str],
+        layer_instances: Optional[Set[str]],
+    ) -> Tuple:
+        """Equivalence class of destinations sharing one candidate order.
+
+        The sort key ``(not same_instance, not same_zone, device_id)``
+        depends on the destination only through its instance and zone.  Two
+        destinations produce the same sorted candidate list when they share
+        an instance, or when neither instance holds the layer (so
+        ``same_instance`` is uniformly False) and they share a zone.  The
+        ``0`` / ``1`` discriminants keep instance ids and zone names from
+        colliding.
+        """
+        if layer_instances and instance in layer_instances:
+            return (layer_key, 0, instance)
+        return (layer_key, 1, dest_zone)
+
+    def _plan_layer_steps_fast(
+        self,
+        context_map: Dict[DeviceId, Tuple],
+        mapping: DeviceMapping,
+        zones: Dict[str, Optional[str]],
+    ) -> Dict[int, MigrationStep]:
+        config = mapping.config
+        num_layers = self.model.num_layers
+        layer_param_bytes = self.model.layer_param_bytes
+        steps: Dict[int, MigrationStep] = {
+            layer: MigrationStep(kind="weight", layer_index=layer)
+            for layer in range(num_layers)
+        }
+        holders, holder_instances = self._model_holder_tables(context_map)
+        rank_zones = (
+            zones
+            if self.network.zone_of is not None and not self.evacuation_mode
+            else None
+        )
+        new_pd = config.pipeline_degree
+        new_td = config.tensor_degree
+        empty_bucket: List[Tuple[Tuple[float, float], DeviceId]] = []
+
+        ranked_cache: Dict[Tuple, List[Tuple[Tuple[float, float], DeviceId]]] = {}
+        pieces_cache: Dict[Tuple, List[Tuple[Optional[DeviceId], float]]] = {}
+        missing_cache: Dict[Tuple, List[Tuple[float, float]]] = {}
+
+        for device_id, position in mapping.placement.items():
+            entry = context_map.get(device_id)
+            ctx = entry[0] if entry is not None else None
+            new_stage = position.stage_index
+            new_shard = position.shard_index
+            if ctx is not None:
+                cpos = ctx.position
+                if (
+                    ctx.pipeline_degree == new_pd
+                    and ctx.tensor_degree == new_td
+                    and cpos.stage_index == new_stage
+                    and cpos.shard_index == new_shard
+                ):
+                    # Unchanged signature: the device already owns exactly
+                    # its new slice, so every missing set is empty.
+                    continue
+                own_lo, own_hi, own_interval = _context_span(
+                    num_layers,
+                    ctx.pipeline_degree,
+                    ctx.tensor_degree,
+                    cpos.stage_index,
+                    cpos.shard_index,
+                )
+            new_layers = stage_layers(num_layers, new_pd, new_stage)
+            new_interval = shard_interval(new_td, new_shard)
+            instance = device_id[0]
+            dest_zone = rank_zones[instance] if rank_zones is not None else None
+            for layer in new_layers:
+                owned = (
+                    own_interval
+                    if ctx is not None and own_lo <= layer < own_hi
+                    else None
+                )
+                mkey = (new_interval, owned)
+                missing = missing_cache.get(mkey)
+                if missing is None:
+                    missing = self._subtract_interval(new_interval, owned)
+                    missing_cache[mkey] = missing
+                if not missing:
+                    continue
+                rank_class = self._rank_class(
+                    layer, instance, dest_zone, holder_instances.get(layer)
+                )
+                step = steps[layer]
+                for segment in missing:
+                    pkey = (rank_class, segment)
+                    pieces = pieces_cache.get(pkey)
+                    if pieces is None:
+                        ranked = ranked_cache.get(rank_class)
+                        if ranked is None:
+                            ranked = self._partition_ranked(
+                                holders.get(layer, empty_bucket),
+                                instance,
+                                dest_zone,
+                                rank_zones,
+                            )
+                            ranked_cache[rank_class] = ranked
+                        pieces = self._pieces_from_sources(ranked, segment)
+                        pieces_cache[pkey] = pieces
+                    for source, fraction in pieces:
+                        size = fraction * layer_param_bytes
+                        if size <= 0:
+                            continue
+                        if source is None:
+                            step.storage_bytes += size
+                        else:
+                            step.transfers.append(
+                                Transfer(
+                                    src=source,
+                                    dst=device_id,
+                                    size_bytes=size,
+                                    tag=f"model:layer{layer}",
+                                )
+                            )
+        return steps
+
+    def _plan_cache_step_fast(
+        self,
+        context_map: Dict[DeviceId, Tuple],
+        mapping: DeviceMapping,
+        cache_requirements: Dict[int, Tuple[int, int, int]],
+        zones: Dict[str, Optional[str]],
+    ) -> MigrationStep:
+        config = mapping.config
+        step = MigrationStep(kind="cache", layer_index=None)
+        if not cache_requirements:
+            return step
+        num_layers = self.model.num_layers
+        tables = self._cache_holder_tables(context_map)
+        rank_zones = (
+            zones
+            if self.network.zone_of is not None and not self.evacuation_mode
+            else None
+        )
+        new_pd = config.pipeline_degree
+        new_td = config.tensor_degree
+        no_holders: Dict[int, List[Tuple[Tuple[float, float], DeviceId]]] = {}
+        no_instances: Dict[int, Set[str]] = {}
+        empty_bucket: List[Tuple[Tuple[float, float], DeviceId]] = []
+
+        ranked_cache: Dict[Tuple, List[Tuple[Tuple[float, float], DeviceId]]] = {}
+        pieces_cache: Dict[Tuple, List[Tuple[Optional[DeviceId], float]]] = {}
+        missing_cache: Dict[Tuple, List[Tuple[float, float]]] = {}
+
+        for new_data_index, (old_data_index, batch_size, cached_tokens) in cache_requirements.items():
+            if cached_tokens <= 0:
+                continue
+            per_layer_bytes = (
+                2.0
+                * self.model.hidden_size
+                * self.model.bytes_per_cache_element
+                * batch_size
+                * cached_tokens
+            )
+            holders, holder_instances = tables.get(
+                old_data_index, (no_holders, no_instances)
+            )
+            for device_id, position in mapping.placement.items():
+                if position.data_index != new_data_index:
+                    continue
+                entry = context_map.get(device_id)
+                ctx = entry[1] if entry is not None else None
+                has_own = ctx is not None and ctx.position.data_index == old_data_index
+                new_stage = position.stage_index
+                new_shard = position.shard_index
+                if has_own:
+                    cpos = ctx.position
+                    if (
+                        ctx.pipeline_degree == new_pd
+                        and ctx.tensor_degree == new_td
+                        and cpos.stage_index == new_stage
+                        and cpos.shard_index == new_shard
+                    ):
+                        # Unchanged signature for this pipeline's cache:
+                        # every missing set is empty.
+                        continue
+                    own_lo, own_hi, own_interval = _context_span(
+                        num_layers,
+                        ctx.pipeline_degree,
+                        ctx.tensor_degree,
+                        cpos.stage_index,
+                        cpos.shard_index,
+                    )
+                new_layers = stage_layers(num_layers, new_pd, new_stage)
+                new_interval = shard_interval(new_td, new_shard)
+                instance = device_id[0]
+                dest_zone = rank_zones[instance] if rank_zones is not None else None
+                for layer in new_layers:
+                    owned = (
+                        own_interval if has_own and own_lo <= layer < own_hi else None
+                    )
+                    mkey = (new_interval, owned)
+                    missing = missing_cache.get(mkey)
+                    if missing is None:
+                        missing = self._subtract_interval(new_interval, owned)
+                        missing_cache[mkey] = missing
+                    if not missing:
+                        continue
+                    rank_class = self._rank_class(
+                        (old_data_index, layer),
+                        instance,
+                        dest_zone,
+                        holder_instances.get(layer),
+                    )
+                    for segment in missing:
+                        pkey = (rank_class, segment)
+                        pieces = pieces_cache.get(pkey)
+                        if pieces is None:
+                            ranked = ranked_cache.get(rank_class)
+                            if ranked is None:
+                                ranked = self._partition_ranked(
+                                    holders.get(layer, empty_bucket),
+                                    instance,
+                                    dest_zone,
+                                    rank_zones,
+                                )
+                                ranked_cache[rank_class] = ranked
+                            pieces = self._pieces_from_sources(ranked, segment)
+                            pieces_cache[pkey] = pieces
+                        for source, fraction in pieces:
+                            size = fraction * per_layer_bytes
+                            if size <= 0:
+                                continue
+                            if source is None:
+                                # Lost cache is recomputed, not reloaded
+                                # (mirrors the reference path).
+                                continue
+                            step.transfers.append(
+                                Transfer(
+                                    src=source,
+                                    dst=device_id,
+                                    size_bytes=size,
+                                    tag=f"cache:pipeline{new_data_index}",
+                                )
+                            )
+        return step
+
+    # ------------------------------------------------------------------
     # Layer ordering (Algorithm 2)
     # ------------------------------------------------------------------
     def _order_layers(
@@ -281,28 +764,90 @@ class MigrationPlanner:
         layers = list(range(self.model.num_layers))
         if not self.memory_optimized:
             return layers
+        deltas_by_layer = {
+            layer: self._buffer_deltas(layer_steps[layer]) for layer in layers
+        }
         usage: Dict[str, float] = {}
         order: List[int] = []
         deferred: List[int] = []
         for layer in layers:
-            deltas = self._buffer_deltas(layer_steps[layer])
+            deltas = deltas_by_layer[layer]
             if self._within_budget(usage, deltas):
                 self._apply_deltas(usage, deltas)
                 order.append(layer)
             else:
                 deferred.append(layer)
+        if not deferred:
+            return order
+        if self.fast_path:
+            order.extend(self._drain_deferred_fast(usage, deferred, deltas_by_layer))
+        else:
+            order.extend(self._drain_deferred(usage, deferred, deltas_by_layer))
+        return order
+
+    def _drain_deferred(
+        self,
+        usage: Dict[str, float],
+        deferred: List[int],
+        deltas_by_layer: Dict[int, Dict[str, float]],
+    ) -> List[int]:
+        """Scalar reference drain: repeated first-strict-min greedy picks."""
+        order: List[int] = []
         while deferred:
-            best_layer = None
+            best_pos = 0
             best_peak = float("inf")
-            for layer in deferred:
-                peak = self._peak_after(usage, self._buffer_deltas(layer_steps[layer]))
+            for pos, layer in enumerate(deferred):
+                peak = self._peak_after(usage, deltas_by_layer[layer])
                 if peak < best_peak:
                     best_peak = peak
-                    best_layer = layer
-            assert best_layer is not None
-            self._apply_deltas(usage, self._buffer_deltas(layer_steps[best_layer]))
+                    best_pos = pos
+            best_layer = deferred.pop(best_pos)
+            self._apply_deltas(usage, deltas_by_layer[best_layer])
             order.append(best_layer)
-            deferred.remove(best_layer)
+        return order
+
+    def _drain_deferred_fast(
+        self,
+        usage: Dict[str, float],
+        deferred: List[int],
+        deltas_by_layer: Dict[int, Dict[str, float]],
+    ) -> List[int]:
+        """Numpy drain, bit-identical to :meth:`_drain_deferred`.
+
+        ``max(u_i + delta, 0.0)`` with ``delta = 0`` reproduces instances
+        untouched by a layer (usage values are already clamped >= 0, so the
+        clamp is a no-op for them), and all-zero extra rows cannot change a
+        column max over non-negative values.  Dead columns are masked to
+        +inf so ``argmin``'s first-occurrence rule equals the reference's
+        strict-less scan over the shrinking deferred list (``list.remove``
+        preserves the relative order of survivors).
+        """
+        instances = sorted(
+            set(usage).union(
+                *(deltas_by_layer[layer].keys() for layer in deferred)
+            )
+        )
+        order: List[int] = []
+        if not instances:
+            # No transfers touch any instance: every peak is 0.0 and the
+            # reference picks the first deferred layer each round.
+            return list(deferred)
+        index_of = {instance: i for i, instance in enumerate(instances)}
+        delta_matrix = np.zeros((len(instances), len(deferred)))
+        for column, layer in enumerate(deferred):
+            for instance, delta in deltas_by_layer[layer].items():
+                delta_matrix[index_of[instance], column] = delta
+        usage_vector = np.array([usage.get(instance, 0.0) for instance in instances])
+        alive = np.ones(len(deferred), dtype=bool)
+        for _ in range(len(deferred)):
+            peaks = np.maximum(usage_vector[:, None] + delta_matrix, 0.0).max(axis=0)
+            peaks[~alive] = np.inf
+            column = int(np.argmin(peaks))
+            alive[column] = False
+            usage_vector = np.maximum(
+                usage_vector + delta_matrix[:, column], 0.0
+            )
+            order.append(deferred[column])
         return order
 
     def _buffer_deltas(self, step: MigrationStep) -> Dict[str, float]:
@@ -404,18 +949,16 @@ class MigrationPlanner:
     # Geometry helpers
     # ------------------------------------------------------------------
     def _stage_layers(self, stage_index: int, pipeline_degree: int) -> List[int]:
-        start, end = stage_layer_range(self.model.num_layers, pipeline_degree, stage_index)
-        return [layer for layer in range(self.model.num_layers) if start <= layer < end]
+        return list(stage_layers(self.model.num_layers, pipeline_degree, stage_index))
 
     def _stage_of_layer(self, layer_index: int, config: ParallelConfig) -> int:
         layers_per_stage = self.model.num_layers / config.pipeline_degree
         return min(int(layer_index / layers_per_stage), config.pipeline_degree - 1)
 
     def _layers_per_stage(self, config: ParallelConfig) -> Dict[int, int]:
-        counts: Dict[int, int] = {stage: 0 for stage in range(config.pipeline_degree)}
-        for layer in range(self.model.num_layers):
-            counts[self._stage_of_layer(layer, config)] += 1
-        return counts
+        counts = _stage_counts(self.model.num_layers, config.pipeline_degree)
+        # Fresh dict per call: plan assembly decrements the counts in place.
+        return {stage: counts[stage] for stage in range(config.pipeline_degree)}
 
     def _own_model_interval(
         self, meta_context: MetaContextManager, device_id: DeviceId
@@ -473,6 +1016,159 @@ class MigrationPlanner:
                 per_pipeline.setdefault(layer, []).append((interval, device_id))
         return holders
 
+    @staticmethod
+    def _interned_buckets(
+        group_entries: List[Tuple[Tuple[float, float], List[DeviceId]]],
+        coverage: Dict[int, List[int]],
+    ) -> Tuple[
+        Dict[int, List[Tuple[Tuple[float, float], DeviceId]]],
+        Dict[int, Set[str]],
+    ]:
+        """Materialise per-layer holder buckets, interned by coverage set.
+
+        Stage spans are contiguous, so runs of adjacent layers are covered
+        by the same set of signature groups; each distinct coverage set is
+        expanded and device-id-sorted once, and the resulting bucket (plus
+        its instance set) is shared by every layer with that coverage.
+        Buckets are therefore shared, read-only lists.  The device-id sort
+        is what lets :meth:`_partition_ranked` skip sorting entirely.
+        """
+        holders: Dict[int, List[Tuple[Tuple[float, float], DeviceId]]] = {}
+        holder_instances: Dict[int, Set[str]] = {}
+        bucket_cache: Dict[Tuple[int, ...], Tuple[List, Set[str]]] = {}
+        for layer, group_ids in coverage.items():
+            ckey = tuple(group_ids)
+            cached = bucket_cache.get(ckey)
+            if cached is None:
+                bucket: List[Tuple[Tuple[float, float], DeviceId]] = []
+                instances: Set[str] = set()
+                for gi in group_ids:
+                    interval, devices = group_entries[gi]
+                    for device_id in devices:
+                        bucket.append((interval, device_id))
+                        instances.add(device_id[0])
+                bucket.sort(key=lambda item: item[1])
+                cached = (bucket, instances)
+                bucket_cache[ckey] = cached
+            holders[layer] = cached[0]
+            holder_instances[layer] = cached[1]
+        return holders, holder_instances
+
+    def _model_holder_tables(
+        self, context_map: Dict[DeviceId, Tuple]
+    ) -> Tuple[
+        Dict[int, List[Tuple[Tuple[float, float], DeviceId]]],
+        Dict[int, Set[str]],
+    ]:
+        """Signature-grouped :meth:`_model_holders`, plus per-layer instances.
+
+        Devices are grouped by their (degrees, stage, shard) context
+        signature so the layer list and shard interval are resolved once per
+        group, then per-layer buckets are interned and device-id-sorted by
+        :meth:`_interned_buckets`.  Holder-list order differs from the
+        per-device scan of the reference, which cannot matter: the candidate
+        ranking is a total order over device ids.  The per-layer instance
+        sets feed :meth:`_rank_class`.
+        """
+        groups: Dict[Tuple[int, int, int, int], List[DeviceId]] = {}
+        for device_id, (mctx, _) in context_map.items():
+            if mctx is None:
+                continue
+            sig = (
+                mctx.pipeline_degree,
+                mctx.tensor_degree,
+                mctx.position.stage_index,
+                mctx.position.shard_index,
+            )
+            groups.setdefault(sig, []).append(device_id)
+        num_layers = self.model.num_layers
+        group_entries: List[Tuple[Tuple[float, float], List[DeviceId]]] = []
+        coverage: Dict[int, List[int]] = {}
+        for (pd, td, stage, shard), devices in groups.items():
+            gi = len(group_entries)
+            group_entries.append((shard_interval(td, shard), devices))
+            for layer in stage_layers(num_layers, pd, stage):
+                coverage.setdefault(layer, []).append(gi)
+        return self._interned_buckets(group_entries, coverage)
+
+    def _cache_holder_tables(
+        self, context_map: Dict[DeviceId, Tuple]
+    ) -> Dict[
+        int,
+        Tuple[
+            Dict[int, List[Tuple[Tuple[float, float], DeviceId]]],
+            Dict[int, Set[str]],
+        ],
+    ]:
+        """Signature-grouped :meth:`_cache_holders` keyed by old data index."""
+        groups: Dict[Tuple[int, int, int, int, int], List[DeviceId]] = {}
+        for device_id, (_, cctx) in context_map.items():
+            if cctx is None:
+                continue
+            sig = (
+                cctx.position.data_index,
+                cctx.pipeline_degree,
+                cctx.tensor_degree,
+                cctx.position.stage_index,
+                cctx.position.shard_index,
+            )
+            groups.setdefault(sig, []).append(device_id)
+        num_layers = self.model.num_layers
+        per_data: Dict[
+            int,
+            Tuple[
+                List[Tuple[Tuple[float, float], List[DeviceId]]],
+                Dict[int, List[int]],
+            ],
+        ] = {}
+        for (data_index, pd, td, stage, shard), devices in groups.items():
+            group_entries, coverage = per_data.setdefault(data_index, ([], {}))
+            gi = len(group_entries)
+            group_entries.append((shard_interval(td, shard), devices))
+            for layer in stage_layers(num_layers, pd, stage):
+                coverage.setdefault(layer, []).append(gi)
+        return {
+            data_index: self._interned_buckets(group_entries, coverage)
+            for data_index, (group_entries, coverage) in per_data.items()
+        }
+
+    @staticmethod
+    def _partition_ranked(
+        bucket: Sequence[Tuple[Tuple[float, float], DeviceId]],
+        instance: str,
+        dest_zone: Optional[str],
+        zones: Optional[Dict[str, Optional[str]]],
+    ) -> List[Tuple[Tuple[float, float], DeviceId]]:
+        """Rank a device-id-sorted bucket without sorting.
+
+        The reference order is ``sorted`` by ``(not same_instance,
+        not same_zone, device_id)``.  A stable three-way partition of a
+        bucket already sorted by device id produces exactly that order:
+        relative device-id order is preserved within each class, and
+        device id is the sort key's only tie-break.  ``zones is None``
+        reproduces the ``zone_of is None`` / evacuation branch, where every
+        candidate counts as same-zone.
+        """
+        same_instance: List[Tuple[Tuple[float, float], DeviceId]] = []
+        same_zone: List[Tuple[Tuple[float, float], DeviceId]] = []
+        others: List[Tuple[Tuple[float, float], DeviceId]] = []
+        if zones is None:
+            for item in bucket:
+                if item[1][0] == instance:
+                    same_instance.append(item)
+                else:
+                    same_zone.append(item)
+        else:
+            for item in bucket:
+                source = item[1][0]
+                if source == instance:
+                    same_instance.append(item)
+                elif zones[source] == dest_zone:
+                    same_zone.append(item)
+                else:
+                    others.append(item)
+        return same_instance + same_zone + others
+
     def _source_pieces(
         self,
         layer: int,
@@ -491,9 +1187,17 @@ class MigrationPlanner:
         disappears.  Portions nobody holds are attributed to storage
         (``source=None``).
         """
-        pieces: List[Tuple[Optional[DeviceId], float]] = []
-        remaining = [needed]
         zone_of = self.network.zone_of if not self.evacuation_mode else None
+        candidates = self._ranked_sources(holders.get(layer, []), destination, zone_of)
+        return self._pieces_from_sources(candidates, needed)
+
+    @staticmethod
+    def _ranked_sources(
+        candidates: Sequence[Tuple[Tuple[float, float], DeviceId]],
+        destination: DeviceId,
+        zone_of,
+    ) -> List[Tuple[Tuple[float, float], DeviceId]]:
+        """Sort holder candidates by the source-preference total order."""
 
         def source_rank(item: Tuple[Tuple[float, float], DeviceId]) -> Tuple:
             """Prefer same-instance, then same-zone sources (unless evacuating)."""
@@ -505,7 +1209,16 @@ class MigrationPlanner:
                 same_zone = zone_of(device_id[0]) == zone_of(destination[0])
             return (not same_instance, not same_zone, device_id)
 
-        candidates = sorted(holders.get(layer, []), key=source_rank)
+        return sorted(candidates, key=source_rank)
+
+    @staticmethod
+    def _pieces_from_sources(
+        candidates: Sequence[Tuple[Tuple[float, float], DeviceId]],
+        needed: Tuple[float, float],
+    ) -> List[Tuple[Optional[DeviceId], float]]:
+        """Greedy interval cover of *needed* by ranked candidates."""
+        pieces: List[Tuple[Optional[DeviceId], float]] = []
+        remaining = [needed]
         for interval, device_id in candidates:
             if not remaining:
                 break

@@ -343,6 +343,13 @@ class ServingSystemBase:
     def handle_preemption_final(self, instance: Instance) -> None:
         """React to an instance disappearing (subclasses override)."""
 
+    def handle_context_dropped(self, instance_id: str) -> None:
+        """React to an instance's context leaving the meta-context.
+
+        Called after every ``meta_context.drop_instance`` so subclasses can
+        invalidate caches keyed on the dropped devices (subclasses override).
+        """
+
     def handle_acquisition_ready(self, instance: Instance) -> None:
         """React to a new instance becoming usable (subclasses override)."""
 
@@ -392,6 +399,7 @@ class ServingSystemBase:
         self._pending_deadlines.pop(instance.instance_id, None)
         self.handle_preemption_final(instance)
         self.meta_context.drop_instance(instance.instance_id)
+        self.handle_context_dropped(instance.instance_id)
 
     def _on_acquisition_ready(self, event: Event) -> None:
         instance: Instance = event.payload["instance"]
@@ -433,6 +441,7 @@ class ServingSystemBase:
             self._teardown_pipelines_using(lost_ids)
             for instance in dead:
                 self.meta_context.drop_instance(instance.instance_id)
+                self.handle_context_dropped(instance.instance_id)
         self.handle_zone_outage(zone, phase, payload)
 
     def handle_zone_outage(self, zone: str, phase: str, payload: Dict) -> None:
@@ -1062,6 +1071,15 @@ class SpotServeSystem(ServingSystemBase):
             self._plan_reconfiguration(reason="zone-outage")
         else:
             self._plan_reconfiguration(reason="zone-outage-final")
+
+    def handle_context_dropped(self, instance_id: str) -> None:
+        """Evict memoised plans naming the vanished instance's devices.
+
+        Plan-memo keys that mention the dropped devices can never hit
+        again (the context signature in the key no longer matches), so a
+        full clear is pure memory hygiene, never a correctness need.
+        """
+        self.migration_planner.invalidate_plan_memo()
 
     def handle_acquisition_ready(self, instance: Instance) -> None:
         """Fold the new instance into the deployment (JIT arrangement)."""

@@ -20,6 +20,8 @@ is what this module computes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+from math import ceil
 from typing import List, Tuple
 
 from ..llm.spec import ModelSpec
@@ -53,6 +55,7 @@ def mesh_positions(data_degree: int, pipeline_degree: int, tensor_degree: int) -
     ]
 
 
+@lru_cache(maxsize=4096)
 def stage_layer_range(
     num_layers: int, pipeline_degree: int, stage_index: int
 ) -> Tuple[float, float]:
@@ -61,7 +64,8 @@ def stage_layer_range(
     Uses fractional boundaries so models whose layer count is not divisible
     by ``P`` are still partitioned exactly (the real system balances whole
     layers; the fractional view only changes overlap byte counts by less than
-    one layer).
+    one layer).  Pure and memoised: the migration planner resolves the same
+    (stage, degree) signatures thousands of times per plan.
     """
     if pipeline_degree <= 0:
         raise ValueError("pipeline_degree must be positive")
@@ -71,14 +75,37 @@ def stage_layer_range(
     return stage_index * layers_per_stage, (stage_index + 1) * layers_per_stage
 
 
+@lru_cache(maxsize=4096)
 def shard_interval(tensor_degree: int, shard_index: int) -> Tuple[float, float]:
-    """Fraction ``[start, end)`` of each layer's parameters owned by a shard."""
+    """Fraction ``[start, end)`` of each layer's parameters owned by a shard.
+
+    Pure and memoised, like :func:`stage_layer_range`.
+    """
     if tensor_degree <= 0:
         raise ValueError("tensor_degree must be positive")
     if not 0 <= shard_index < tensor_degree:
         raise ValueError("shard_index out of range")
     width = 1.0 / tensor_degree
     return shard_index * width, (shard_index + 1) * width
+
+
+@lru_cache(maxsize=4096)
+def stage_layers(
+    num_layers: int, pipeline_degree: int, stage_index: int
+) -> Tuple[int, ...]:
+    """Whole layers owned by a pipeline stage, as an integer tuple.
+
+    Equivalent to scanning ``range(num_layers)`` for ``start <= l < end``
+    over the fractional :func:`stage_layer_range` boundaries, but built in
+    O(layers-per-stage) from the half-open integer range
+    ``[ceil(start), ceil(end))``: for an integer ``l``, ``l >= start`` iff
+    ``l >= ceil(start)`` and ``l < end`` iff ``l < ceil(end)`` (``ceil`` on a
+    float is exact).  The upper bound is clamped to ``num_layers`` because
+    ``(stage_index + 1) * (num_layers / P)`` can exceed ``num_layers`` by an
+    ulp when the division is inexact.
+    """
+    start, end = stage_layer_range(num_layers, pipeline_degree, stage_index)
+    return tuple(range(min(ceil(start), num_layers), min(ceil(end), num_layers)))
 
 
 def _interval_overlap(a: Tuple[float, float], b: Tuple[float, float]) -> float:

@@ -1,0 +1,460 @@
+"""Equivalence tests for the signature-grouped, memoised plan phase.
+
+The plan-phase fast path rests on four claims, each pinned here:
+
+* the interned geometry helpers (``stage_layers``, the stage-count table)
+  equal their O(num_layers) scan references for every (layers, degree)
+  signature, fractional stage boundaries included;
+* signature-grouped step construction -- interned holder tables, rank-class
+  candidate ranking, per-(layer, segment, rank class) piece memoisation --
+  produces **byte-equal** :class:`MigrationPlan` fields and identical
+  ``Transfer`` ordering vs the scalar reference (``fast_path=False``) under
+  randomized fleet churn, degrees, evacuation mode, cache requirements and
+  storage fallback;
+* the numpy deferred-layer drain picks the same layer order as the scalar
+  greedy, strict-less first-min tie-breaks included;
+* the cross-round plan memo hits exactly when every plan input is unchanged
+  and misses (or is invalidated) on any fleet / context / config change.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.config import ParallelConfig
+from repro.core.device_mapper import DeviceMapper
+from repro.core.migration import MigrationPlanner, MigrationStep, _stage_counts
+from repro.core.server import ServingSystemBase, SpotServeSystem
+from repro.engine.context import MetaContextManager
+from repro.engine.placement import mesh_positions, stage_layer_range, stage_layers
+from repro.llm.spec import GPT_20B, OPT_6_7B
+from repro.sim.network import NetworkModel, Transfer
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+GB = 1024 ** 3
+
+
+def devices_for(num_instances, gpus_per_instance=4, prefix="inst"):
+    return [
+        (f"{prefix}-{i:02d}", g)
+        for i in range(num_instances)
+        for g in range(gpus_per_instance)
+    ]
+
+
+def zone_of(instance_id):
+    return f"z{int(instance_id.split('-')[1]) % 3}"
+
+
+def random_fleet_state(rng, model):
+    """Random meta-context state: some instances stateful, some fresh."""
+    meta = MetaContextManager(model)
+    n_instances = int(rng.integers(2, 9))
+    devices = devices_for(n_instances)
+    old = ParallelConfig(
+        int(rng.choice([1, 2])),
+        int(rng.choice([1, 2, 3])),
+        int(rng.choice([2, 4, 8])),
+        8,
+    )
+    positions = mesh_positions(old.data_degree, old.pipeline_degree, old.tensor_degree)
+    for device, position in zip(devices, positions):
+        if rng.random() < 0.8:
+            meta.daemon(device).install_model_context(
+                old.pipeline_degree, old.tensor_degree, position
+            )
+        if rng.random() < 0.4:
+            meta.daemon(device).install_cache_context(
+                old.pipeline_degree,
+                old.tensor_degree,
+                position,
+                batch_size=int(rng.integers(1, 9)),
+                cached_tokens=int(rng.integers(1, 700)),
+            )
+    return meta, devices, old
+
+
+def assert_plans_byte_equal(fast, reference):
+    """Every plan field exactly equal, Transfer ordering included."""
+    assert fast.layer_order == reference.layer_order
+    assert fast.total_time == reference.total_time
+    assert fast.stall_time == reference.stall_time
+    assert fast.peak_buffer_bytes == reference.peak_buffer_bytes
+    assert fast.storage_load_time == reference.storage_load_time
+    assert fast.total_bytes == reference.total_bytes
+    assert fast.remote_bytes == reference.remote_bytes
+    assert len(fast.steps) == len(reference.steps)
+    for fast_step, ref_step in zip(fast.steps, reference.steps):
+        assert fast_step.kind == ref_step.kind
+        assert fast_step.layer_index == ref_step.layer_index
+        assert fast_step.storage_bytes == ref_step.storage_bytes
+        assert fast_step.stages_ready == ref_step.stages_ready
+        # List equality of frozen dataclasses pins both content and order.
+        assert fast_step.transfers == ref_step.transfers
+
+
+class TestGeometryHelpers:
+    """Satellite: range-built stage layers == the O(num_layers) scan."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_stage_layers_equal_scan_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        num_layers = int(rng.integers(1, 130))
+        pipeline_degree = int(rng.integers(1, 17))
+        for stage in range(pipeline_degree):
+            start, end = stage_layer_range(num_layers, pipeline_degree, stage)
+            scan = [l for l in range(num_layers) if start <= l < end]
+            assert list(stage_layers(num_layers, pipeline_degree, stage)) == scan
+
+    def test_stage_layers_exhaustive_small(self):
+        """Every (layers <= 40, P <= 9, stage): ceil-range == scan."""
+        for num_layers in range(1, 41):
+            for pipeline_degree in range(1, 10):
+                seen = []
+                for stage in range(pipeline_degree):
+                    start, end = stage_layer_range(num_layers, pipeline_degree, stage)
+                    scan = [l for l in range(num_layers) if start <= l < end]
+                    built = list(stage_layers(num_layers, pipeline_degree, stage))
+                    assert built == scan
+                    seen.extend(built)
+                # Stages partition the layers (no loss, no double-count).
+                assert sorted(seen) == list(range(num_layers))
+
+    def test_stage_counts_equal_per_layer_loop(self):
+        """Satellite: the stage-count table == the per-layer _stage_of_layer loop."""
+        planner = MigrationPlanner(GPT_20B)
+        for num_layers in (1, 7, 30, 44, 96):
+            for pipeline_degree in range(1, 12):
+                config = ParallelConfig(1, pipeline_degree, 1, 8)
+                planner.model = SimpleNamespace(num_layers=num_layers)
+                reference = {stage: 0 for stage in range(pipeline_degree)}
+                for layer in range(num_layers):
+                    reference[planner._stage_of_layer(layer, config)] += 1
+                assert planner._layers_per_stage(config) == reference
+                assert sum(_stage_counts(num_layers, pipeline_degree)) == num_layers
+
+    def test_layers_per_stage_returns_fresh_dict(self):
+        """Plan assembly decrements the dict in place; calls must not alias."""
+        planner = MigrationPlanner(OPT_6_7B)
+        config = ParallelConfig(1, 3, 4, 8)
+        first = planner._layers_per_stage(config)
+        first[0] -= 5
+        assert planner._layers_per_stage(config)[0] == first[0] + 5
+
+
+class TestFastReferencePlanEquivalence:
+    """Randomized sweeps: fast_path=True plans == scalar reference plans."""
+
+    @staticmethod
+    def random_transition(rng, meta, devices, old):
+        """Random fleet delta, then a feasible new config."""
+        delta = rng.integers(0, 4)
+        if delta == 0 and len({d[0] for d in devices}) > 2:
+            # Preemption: an instance vanishes with its context (this is
+            # also what forces storage-fallback segments downstream).
+            instances = sorted({d[0] for d in devices})
+            victim = instances[int(rng.integers(0, len(instances)))]
+            meta.drop_instance(victim)
+            devices = [d for d in devices if d[0] != victim]
+        elif delta == 1:
+            index = len({d[0] for d in devices}) + int(rng.integers(10, 90))
+            devices = devices + devices_for(1, prefix=f"inst-{index:02d}")
+        while True:
+            new = ParallelConfig(
+                int(rng.choice([1, 2])),
+                int(rng.choice([1, 2, 3])),
+                int(rng.choice([2, 4])),
+                8,
+            )
+            if new.num_gpus <= len(devices):
+                return devices, new
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_rounds_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        model = GPT_20B if seed % 2 else OPT_6_7B
+        meta, devices, old = random_fleet_state(rng, model)
+        zones = zone_of if seed % 3 != 2 else None
+        network = NetworkModel(zone_of=zones)
+
+        fast = MigrationPlanner(model, network)
+        reference = MigrationPlanner(model, network, fast_path=False)
+        assert fast.fast_path and not reference.fast_path
+        mapper = DeviceMapper(model, zone_of=zones)
+
+        for round_index in range(5):
+            devices, new = self.random_transition(rng, meta, devices, old)
+            inheritance = {
+                d: int(rng.integers(0, new.data_degree))
+                for d in range(old.data_degree)
+            }
+            mapping = mapper.map_devices(meta, devices, new, inheritance)
+            cache_requirements = {}
+            if rng.random() < 0.6:
+                cache_requirements = {
+                    int(rng.integers(0, new.data_degree)): (
+                        int(rng.integers(0, old.data_degree)),
+                        int(rng.integers(1, 9)),
+                        int(rng.integers(0, 700)),
+                    )
+                }
+            evacuating = bool(rng.random() < 0.3)
+            fast.evacuation_mode = evacuating
+            reference.evacuation_mode = evacuating
+            fast_plan = fast.plan(meta, mapping, cache_requirements)
+            ref_plan = reference.plan(meta, mapping, cache_requirements)
+            assert_plans_byte_equal(fast_plan, ref_plan)
+
+    def test_storage_fallback_matches_reference(self):
+        """Lost slices are billed to storage identically on both paths."""
+        meta = MetaContextManager(OPT_6_7B)
+        old = ParallelConfig(1, 1, 4, 8)
+        devices = devices_for(1)
+        positions = mesh_positions(1, 1, 4)
+        for device, position in zip(devices, positions):
+            meta.daemon(device).install_model_context(1, 4, position)
+        meta.drop_instance("inst-00")
+        new_devices = devices_for(1, prefix="inst-99")
+        for device in new_devices:
+            meta.daemon(device)
+        mapping = DeviceMapper(OPT_6_7B).map_devices(meta, new_devices, old)
+        fast_plan = MigrationPlanner(OPT_6_7B).plan(meta, mapping, {})
+        ref_plan = MigrationPlanner(OPT_6_7B, fast_path=False).plan(meta, mapping, {})
+        assert fast_plan.storage_load_time > 0
+        assert_plans_byte_equal(fast_plan, ref_plan)
+
+    def test_tight_buffer_budget_matches_reference(self):
+        """A small U_max forces deferrals through both drain implementations."""
+        rng = np.random.default_rng(99)
+        meta, devices, old = random_fleet_state(rng, GPT_20B)
+        new = ParallelConfig(1, 3, 4, 8)
+        while new.num_gpus > len(devices):
+            devices = devices + devices_for(1, prefix="inst-77")
+        mapping = DeviceMapper(GPT_20B).map_devices(meta, devices, new)
+        for budget in (0.01 * GB, 0.1 * GB, 1.0 * GB):
+            fast = MigrationPlanner(GPT_20B, max_buffer_bytes=budget)
+            reference = MigrationPlanner(
+                GPT_20B, max_buffer_bytes=budget, fast_path=False
+            )
+            assert_plans_byte_equal(
+                fast.plan(meta, mapping, {}), reference.plan(meta, mapping, {})
+            )
+
+
+class TestDeferredDrainEquivalence:
+    """The numpy drain == the scalar greedy on synthetic step sets."""
+
+    @staticmethod
+    def synthetic_steps(rng, num_layers, num_instances, tie_heavy=False):
+        steps = {}
+        for layer in range(num_layers):
+            step = MigrationStep(kind="weight", layer_index=layer)
+            for _ in range(int(rng.integers(0, 5))):
+                src = (f"inst-{int(rng.integers(0, num_instances)):02d}", 0)
+                dst = (f"inst-{int(rng.integers(0, num_instances)):02d}", 1)
+                # Identical sizes manufacture peak ties between layers.
+                size = 1.0 * GB if tie_heavy else float(rng.integers(1, 64)) * GB / 16
+                step.transfers.append(
+                    Transfer(src=src, dst=dst, size_bytes=size, tag="model")
+                )
+            steps[layer] = step
+        return steps
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_steps_same_order(self, seed):
+        rng = np.random.default_rng(seed)
+        num_layers = int(rng.integers(1, 25))
+        steps = self.synthetic_steps(
+            rng, num_layers, int(rng.integers(2, 7)), tie_heavy=seed % 3 == 0
+        )
+        model = SimpleNamespace(num_layers=num_layers)
+        mapping = SimpleNamespace(config=None)
+        budget = float(rng.choice([0.5, 1.0, 2.0, 4.0])) * GB
+        fast = MigrationPlanner(GPT_20B, max_buffer_bytes=budget)
+        reference = MigrationPlanner(GPT_20B, max_buffer_bytes=budget, fast_path=False)
+        fast.model = reference.model = model
+        fast_order = fast._order_layers(steps, mapping)
+        ref_order = reference._order_layers(steps, mapping)
+        assert fast_order == ref_order
+        assert sorted(fast_order) == list(range(num_layers))
+
+    def test_all_layers_deferred_with_zero_budget(self):
+        rng = np.random.default_rng(7)
+        steps = self.synthetic_steps(rng, 12, 4)
+        model = SimpleNamespace(num_layers=12)
+        mapping = SimpleNamespace(config=None)
+        fast = MigrationPlanner(GPT_20B, max_buffer_bytes=0.0)
+        reference = MigrationPlanner(GPT_20B, max_buffer_bytes=0.0, fast_path=False)
+        fast.model = reference.model = model
+        assert fast._order_layers(steps, mapping) == reference._order_layers(
+            steps, mapping
+        )
+
+
+class TestPlanMemo:
+    """Cross-round memo: hit on identical inputs, miss on any change."""
+
+    @staticmethod
+    def transition(model=GPT_20B, num_instances=6):
+        meta = MetaContextManager(model)
+        devices = devices_for(num_instances)
+        old = ParallelConfig(1, 2, 8, 8)
+        positions = mesh_positions(old.data_degree, old.pipeline_degree, old.tensor_degree)
+        for device, position in zip(devices, positions):
+            meta.daemon(device).install_model_context(
+                old.pipeline_degree, old.tensor_degree, position
+            )
+        new = ParallelConfig(1, 3, 4, 8)
+        mapping = DeviceMapper(model).map_devices(meta, devices, new)
+        return meta, devices, mapping
+
+    def test_identical_round_hits_and_returns_same_object(self):
+        meta, devices, mapping = self.transition()
+        planner = MigrationPlanner(GPT_20B)
+        first = planner.plan(meta, mapping, {})
+        assert (planner.plan_memo_hits, planner.plan_memo_misses) == (0, 1)
+        second = planner.plan(meta, mapping, {})
+        assert second is first
+        assert (planner.plan_memo_hits, planner.plan_memo_misses) == (1, 1)
+
+    def test_context_change_misses(self):
+        meta, devices, mapping = self.transition()
+        planner = MigrationPlanner(GPT_20B)
+        planner.plan(meta, mapping, {})
+        meta.drop_instance(devices[0][0])
+        planner.plan(meta, mapping, {})
+        assert planner.plan_memo_hits == 0
+        assert planner.plan_memo_misses == 2
+
+    def test_cache_requirement_change_misses(self):
+        meta, devices, mapping = self.transition()
+        planner = MigrationPlanner(GPT_20B)
+        planner.plan(meta, mapping, {0: (0, 8, 128)})
+        planner.plan(meta, mapping, {0: (0, 8, 256)})
+        planner.plan(meta, mapping, {})
+        assert planner.plan_memo_misses == 3
+        planner.plan(meta, mapping, {0: (0, 8, 128)})
+        assert planner.plan_memo_hits == 1
+
+    def test_config_toggles_miss(self):
+        meta, devices, mapping = self.transition()
+        planner = MigrationPlanner(GPT_20B)
+        planner.plan(meta, mapping, {})
+        planner.evacuation_mode = True
+        planner.plan(meta, mapping, {})
+        planner.evacuation_mode = False
+        planner.max_buffer_bytes /= 2.0
+        planner.plan(meta, mapping, {})
+        assert planner.plan_memo_hits == 0
+        assert planner.plan_memo_misses == 3
+
+    def test_memoised_plan_equals_fresh_plan(self):
+        """A hit returns exactly what an unmemoised build would produce."""
+        meta, devices, mapping = self.transition()
+        planner = MigrationPlanner(GPT_20B)
+        planner.plan(meta, mapping, {})
+        hit = planner.plan(meta, mapping, {})
+        fresh = MigrationPlanner(GPT_20B).plan(meta, mapping, {})
+        assert_plans_byte_equal(hit, fresh)
+
+    def test_invalidate_clears_the_memo(self):
+        meta, devices, mapping = self.transition()
+        planner = MigrationPlanner(GPT_20B)
+        planner.plan(meta, mapping, {})
+        planner.invalidate_plan_memo()
+        planner.plan(meta, mapping, {})
+        assert planner.plan_memo_hits == 0
+        assert planner.plan_memo_misses == 2
+
+    def test_memo_is_lru_bounded(self):
+        meta, devices, mapping = self.transition()
+        planner = MigrationPlanner(GPT_20B)
+        for tokens in range(planner.PLAN_MEMO_SIZE * 2):
+            planner.plan(meta, mapping, {0: (0, 8, tokens + 1)})
+        assert len(planner._plan_memo) == planner.PLAN_MEMO_SIZE
+
+    def test_reference_path_never_memoises(self):
+        meta, devices, mapping = self.transition()
+        planner = MigrationPlanner(GPT_20B, fast_path=False)
+        first = planner.plan(meta, mapping, {})
+        second = planner.plan(meta, mapping, {})
+        assert first is not second
+        assert not planner._plan_memo
+
+    def test_server_hook_invalidates_the_memo(self):
+        """SpotServeSystem.handle_context_dropped clears the planner memo."""
+        assert hasattr(ServingSystemBase, "handle_context_dropped")
+        meta, devices, mapping = self.transition()
+        planner = MigrationPlanner(GPT_20B)
+        planner.plan(meta, mapping, {})
+        assert planner._plan_memo
+        stub = SimpleNamespace(migration_planner=planner)
+        SpotServeSystem.handle_context_dropped(stub, devices[0][0])
+        assert not planner._plan_memo
+
+
+class TestPerfCheckPlanGuard:
+    """run_perf.py --check guards the plan phase's ms/call per scenario."""
+
+    @staticmethod
+    def load_run_perf():
+        spec = importlib.util.spec_from_file_location(
+            "run_perf", REPO_ROOT / "benchmarks" / "perf" / "run_perf.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def report(plan_ms, round_ms=5.0, events=50000.0):
+        return {
+            "adaptation_round_ms": round_ms,
+            "sim_events_per_sec": events,
+            "phases": {"plan": {"seconds": 1.0, "calls": 10, "ms_per_call": plan_ms}},
+        }
+
+    def baseline(self, tmp_path, plan_ms):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "scenarios": {
+                        "s": {"adaptation_round_ms": 10.0, "plan_ms_per_call": plan_ms}
+                    }
+                }
+            )
+        )
+        return path
+
+    def test_plan_regression_fails_the_check(self, tmp_path):
+        run_perf = self.load_run_perf()
+        baseline = self.baseline(tmp_path, 2.0)
+        assert (
+            run_perf.check_regression(
+                {"s": self.report(plan_ms=10.0)}, baseline, max_regression=2.0
+            )
+            == 1
+        )
+
+    def test_plan_within_limit_passes(self, tmp_path):
+        run_perf = self.load_run_perf()
+        baseline = self.baseline(tmp_path, 2.0)
+        assert (
+            run_perf.check_regression(
+                {"s": self.report(plan_ms=3.9)}, baseline, max_regression=2.0
+            )
+            == 0
+        )
+
+    def test_scenario_without_plan_calls_skips_the_guard(self, tmp_path):
+        """Pinned-fleet scenarios have no reconfiguring rounds: skip, don't fail."""
+        run_perf = self.load_run_perf()
+        baseline = self.baseline(tmp_path, 2.0)
+        report = self.report(plan_ms=0.0)
+        report["phases"] = {}
+        assert run_perf.check_regression({"s": report}, baseline, 2.0) == 0
