@@ -31,7 +31,12 @@ A ``zone-outage`` scenario keeps the fault-injection path (ZONE_OUTAGE
 events, fleet evacuation, conservation accounting) on the measured/guarded
 path; an ``overload`` scenario does the same for the overload-control
 subsystem (admission hooks + deadline-aware queue shedding on a pinned
-fleet).  ``--policy-benchmark`` appends the autoscaling-policy head-to-head
+fleet); a ``chaos`` scenario does the same for the cloud-fault injection
+layer (seeded allocation refusals, launch failures, straggler launches,
+early reclaims, degraded-bandwidth windows) and the acquisition
+retry/backoff + launch-watchdog machinery that chases those faults (its
+row carries the ``fault_counters`` block).
+``--policy-benchmark`` appends the autoscaling-policy head-to-head
 sweep plus the admission-policy overload sweep (cost / p99 / rejected /
 shed per variant; see :mod:`repro.experiments.policy_bench`) to the BENCH
 JSON.
@@ -72,6 +77,7 @@ from repro.experiments.runner import (  # noqa: E402
     run_serving_experiment,
 )
 from repro.experiments.scenarios import (  # noqa: E402
+    chaos_scenario,
     heavy_traffic_scenario,
     multi_zone_fluctuating_scenario,
     overload_scenario,
@@ -128,6 +134,15 @@ def _run_zone_outage() -> ExperimentResult:
     return run_scenario_experiment(scenario, arrivals, drain_time=300.0)
 
 
+def _run_chaos() -> ExperimentResult:
+    # Seeded cloud-fault injection on a dense-preemption market: allocation
+    # refusals, launch failures, straggler launches, early reclaims and
+    # degraded-bandwidth windows, with the acquisition retry/backoff and
+    # launch-watchdog machinery chasing the faults on the measured path.
+    scenario, arrivals = chaos_scenario("OPT-6.7B")
+    return run_scenario_experiment(scenario, arrivals, drain_time=300.0)
+
+
 def _run_overload() -> ExperimentResult:
     # Deadline-aware shedding keeps the admission/shedding hooks on the
     # measured path (the "none" variant would exercise only the wiring).
@@ -158,6 +173,11 @@ SCENARIOS: Dict[str, Callable[[], ExperimentResult]] = {
     # the overload-control subsystem (admission hooks + per-round queue
     # shedding) on the measured path.
     "overload": _run_overload,
+    # Seeded cloud-fault injection (refusals, launch failures, stragglers,
+    # early reclaims, degraded bandwidth + a mid-window zone outage): the
+    # fault-injection and acquisition-resilience machinery on the measured
+    # path.
+    "chaos": _run_chaos,
 }
 
 
@@ -211,6 +231,19 @@ def measure(name: str) -> Dict:
         "completed_requests": result.completed_requests,
         "digest_chars": len(result.stats.summary_text()),
     }
+    stats = result.stats
+    fault_counters = {
+        "allocation_refusals": stats.allocation_refusals,
+        "launch_failures": stats.launch_failures,
+        "acquisition_retries": stats.acquisition_retries,
+        "early_preemptions": stats.early_preemptions,
+        "migration_fallbacks": stats.migration_fallbacks,
+        "allocation_shortfall": stats.allocation_shortfall,
+    }
+    if any(fault_counters.values()):
+        # Only fault-injected scenarios (chaos) report the resilience
+        # counters; fault-free rows stay byte-stable across this addition.
+        report["fault_counters"] = fault_counters
     baseline_ms = PRE_FAST_PATH_ROUND_MS.get(name)
     if baseline_ms is not None and round_ms > 0:
         report["pre_fast_path_round_ms"] = baseline_ms
@@ -377,6 +410,7 @@ def main(argv=None) -> int:
         "heavy-traffic",
         "zone-outage",
         "overload",
+        "chaos",
     ]
     if args.check is not None and args.jobs > 1:
         # Parallel scenarios time each other's interference; comparing that

@@ -17,20 +17,27 @@ The package layout follows the paper's architecture:
 * :mod:`repro.core` -- SpotServe itself: controller, device mapper, migration
   planner, stateful recovery, serving system.
 * :mod:`repro.baselines` -- Rerouting, Reparallelization and on-demand-only.
+* :mod:`repro.faults` -- seeded cloud-fault injection (refusals, launch
+  failures, stragglers, early reclaims, degraded bandwidth) + retry policy.
 * :mod:`repro.experiments` -- runners, metrics, scenarios and ablations.
 """
 
 from .core.config import ParallelConfig
 from .core.server import SpotServeOptions, SpotServeSystem
 from .experiments.runner import ExperimentResult, run_comparison, run_serving_experiment
+from .faults import FaultInjector, FaultPlan, RetryPolicy, ZoneFaultModel
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ExperimentResult",
+    "FaultInjector",
+    "FaultPlan",
     "ParallelConfig",
+    "RetryPolicy",
     "SpotServeOptions",
     "SpotServeSystem",
+    "ZoneFaultModel",
     "__version__",
     "run_comparison",
     "run_serving_experiment",

@@ -137,6 +137,15 @@ class Instance:
         return self.state in (InstanceState.RUNNING, InstanceState.GRACE_PERIOD)
 
     @property
+    def is_launching(self) -> bool:
+        """True while the VM is still booting (granted but not yet usable).
+
+        Launching instances are the ones a launch watchdog has to police:
+        they can straggle or die before ever serving a request.
+        """
+        return self.state is InstanceState.LAUNCHING
+
+    @property
     def is_alive(self) -> bool:
         """True until the instance is preempted or released."""
         return self.state not in (InstanceState.PREEMPTED, InstanceState.RELEASED)

@@ -147,6 +147,28 @@ class InstanceManager:
             if inst.market is Market.ON_DEMAND
         )
 
+    def launching_instances(self) -> List[Instance]:
+        """Granted instances still booting (candidates for the launch watchdog).
+
+        These live in the provider's fleet, not ``_held`` -- an instance is
+        only adopted once its ``ACQUISITION_READY`` fires -- so the view goes
+        through the provider.
+        """
+        return [
+            inst for inst in self.provider.alive_instances() if inst.is_launching
+        ]
+
+    def on_launch_failure(self, event: Event) -> Instance:
+        """Forget an instance whose launch died before becoming ready.
+
+        Launching instances are not yet held, so this is mostly defensive;
+        it also clears any doomed marking the failed instance carried.
+        """
+        instance: Instance = event.payload["instance"]
+        self._held.pop(instance.instance_id, None)
+        self._pending_preemption.pop(instance.instance_id, None)
+        return instance
+
     def zone_counts(self) -> Dict[str, int]:
         """Stable instances per availability zone (zones with none included)."""
         counts: Dict[str, int] = {name: 0 for name in self.provider.zone_names}

@@ -24,6 +24,13 @@ interface the paper's instance manager consumes:
   window, so neither trace grants nor allocation requests can land in a dark
   zone.
 
+An optional :class:`~repro.faults.FaultInjector` makes the cloud *unreliable*
+in the ways real clouds are: allocation requests can be refused with
+insufficient-capacity errors, launches can straggle (stretched startup delay)
+or die mid-flight (``LAUNCH_FAILURE``), and spot reclaims can land earlier
+than the announced grace deadline.  Every injector hook is skipped when no
+injector is installed, keeping the default path byte-identical.
+
 The provider manages one or more **availability zones**
 (:class:`~repro.cloud.zone.ZoneSpec`): each zone replays its own trace with
 its own deterministic victim RNG, enforces its own capacity limit and bills
@@ -39,6 +46,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..faults.injector import FaultInjector
 from ..sim.engine import Simulator
 from ..sim.events import Event, EventType
 from .instance import DEFAULT_ZONE, G4DN_12XLARGE, Instance, InstanceState, InstanceType, Market
@@ -66,6 +74,7 @@ class CloudProvider:
         trace_market: Market = Market.SPOT,
         victim_seed: int = 0,
         zones: Optional[Sequence[ZoneSpec]] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if zones is None:
             if trace is None:
@@ -79,6 +88,10 @@ class CloudProvider:
         self.cost_tracker = cost_tracker or CostTracker()
         self.allow_spot_requests = allow_spot_requests
         self.trace_market = trace_market
+        #: Optional cloud-fault injector (see :mod:`repro.faults`).  When
+        #: None (the default) every fault hook below is skipped entirely and
+        #: the provider behaves byte-identically to the fault-free code.
+        self.fault_injector = fault_injector
         # Single-zone replays keep the seed's RNG stream byte-for-byte; with
         # several zones each gets an independent derived stream so adding a
         # zone never perturbs another zone's victim picks.
@@ -293,8 +306,26 @@ class CloudProvider:
 
         The pending event is tracked so that a zone outage striking during
         the startup delay can cancel the announcement instead of marking a
-        dead instance ready.
+        dead instance ready.  With a fault injector installed, the startup
+        delay may be stretched by a seeded straggler multiplier and the
+        launch may die mid-flight (a ``LAUNCH_FAILURE`` event that cancels
+        the ready announcement).
         """
+        if self.fault_injector is not None:
+            now = self.simulator.now
+            multiplier = self.fault_injector.launch_delay_multiplier(instance.zone)
+            if multiplier != 1.0:
+                ready_at = now + (ready_at - now) * multiplier
+            failure_at = self.fault_injector.launch_failure_at(
+                instance.zone, now, ready_at
+            )
+            if failure_at is not None:
+                self.simulator.schedule_at(
+                    failure_at,
+                    EventType.LAUNCH_FAILURE,
+                    payload={"instance": instance},
+                    callback=self._on_launch_failure,
+                )
         event = self.simulator.schedule_at(
             ready_at,
             EventType.ACQUISITION_READY,
@@ -307,6 +338,27 @@ class CloudProvider:
         instance: Instance = event.payload["instance"]
         self._pending_ready.pop(instance.instance_id, None)
         instance.mark_ready(event.time)
+
+    def _on_launch_failure(self, event: Event) -> None:
+        """A launching instance died before becoming ready.
+
+        No-ops unless the instance is still ``LAUNCHING`` (a zone outage or
+        preemption may have reclaimed it first).  Sets ``applied`` in the
+        event payload so downstream handlers (the server's retry machinery)
+        know whether the failure actually took effect.
+        """
+        instance: Instance = event.payload["instance"]
+        event.payload["applied"] = False
+        if not instance.is_alive or instance.state is not InstanceState.LAUNCHING:
+            return
+        pending_ready = self._pending_ready.pop(instance.instance_id, None)
+        if pending_ready is not None:
+            pending_ready.cancel()
+        instance.fail(event.time)
+        self.cost_tracker.stop_billing(instance, event.time)
+        if self.fault_injector is not None:
+            self.fault_injector.record("launch_failures")
+        event.payload["applied"] = True
 
     def _select_preemption_victims(self, count: int, zone_name: str) -> List[Instance]:
         """Pick spot instances of *zone_name* to reclaim, uniformly at random.
@@ -338,6 +390,12 @@ class CloudProvider:
 
         ``deadline`` overrides the per-instance grace deadline (a zone-outage
         warning graces the whole zone until the outage start instead).
+
+        With a fault injector installed the reclaim may land *before* the
+        announced deadline (the Section 4.2 "earlier than expected" case):
+        the notice still advertises the full deadline -- that is the whole
+        point -- but the ``PREEMPTION_FINAL`` fires at the seeded early
+        reclaim time.
         """
         pending_ready = self._pending_ready.pop(instance.instance_id, None)
         if pending_ready is not None:
@@ -353,8 +411,15 @@ class CloudProvider:
             EventType.PREEMPTION_NOTICE,
             payload={"instance": instance, "deadline": deadline},
         )
+        reclaim_at = deadline
+        if self.fault_injector is not None:
+            early = self.fault_injector.early_reclaim_time(
+                instance.zone, time, deadline
+            )
+            if early is not None:
+                reclaim_at = early
         self.simulator.schedule_at(
-            deadline,
+            reclaim_at,
             EventType.PREEMPTION_FINAL,
             payload={"instance": instance},
             callback=self._finalize_preemption,
@@ -407,7 +472,12 @@ class CloudProvider:
         granted: List[Instance] = []
         for zone_spec in self._allocation_zones(zone, avoid_zones):
             room = self.capacity_remaining(zone_spec.name)
-            for _ in range(min(count - len(granted), room)):
+            want = min(count - len(granted), room)
+            if self.fault_injector is not None and want > 0:
+                want -= self.fault_injector.refused_count(
+                    zone_spec.name, "on_demand", want
+                )
+            for _ in range(want):
                 instance = Instance(
                     instance_type=self.instance_type,
                     market=Market.ON_DEMAND,
@@ -447,7 +517,10 @@ class CloudProvider:
         granted: List[Instance] = []
         for zone_spec in self._allocation_zones(zone, avoid_zones):
             room = self.capacity_remaining(zone_spec.name)
-            for _ in range(min(count - len(granted), room)):
+            want = min(count - len(granted), room)
+            if self.fault_injector is not None and want > 0:
+                want -= self.fault_injector.refused_count(zone_spec.name, "spot", want)
+            for _ in range(want):
                 granted.append(
                     self._grant_spot_instance(now, zone_spec, ready_immediately=False)
                 )
@@ -456,9 +529,17 @@ class CloudProvider:
         return granted
 
     def release(self, instance: Instance) -> None:
-        """Voluntarily return *instance* to the cloud (stops billing)."""
+        """Voluntarily return *instance* to the cloud (stops billing).
+
+        A still-launching instance can be released too (the launch watchdog
+        abandons stuck launches); its pending ready announcement is
+        cancelled so it never tries to mark a released instance ready.
+        """
         if not instance.is_alive:
             return
+        pending_ready = self._pending_ready.pop(instance.instance_id, None)
+        if pending_ready is not None:
+            pending_ready.cancel()
         instance.release(self.simulator.now)
         self.cost_tracker.stop_billing(instance, self.simulator.now)
 

@@ -74,7 +74,10 @@ class AutoscaleSignal:
     ``current_instances`` counts *usable* instances (what is serving now);
     ``pending_instances`` counts granted instances still inside their
     startup delay, so repeated rounds do not re-request capacity that is
-    already on its way.
+    already on its way.  ``pending_retries`` counts acquisitions the server
+    is about to re-request after a refusal or launch failure (backoff in
+    flight), so the autoscaler never double-requests capacity that a retry
+    will also ask for.
     """
 
     time: float
@@ -84,6 +87,7 @@ class AutoscaleSignal:
     current_instances: int
     gpus_per_instance: int
     pending_instances: int = 0
+    pending_retries: int = 0
     #: Whether extra *spot* requests can be granted; when False every grant
     #: falls through to the on-demand market, so zone arbitrage must compare
     #: on-demand prices instead of spot prices.
@@ -344,10 +348,15 @@ class Autoscaler:
         """
         desired = self.policy.desired_instances(signal)
         desired = min(max(desired, self.min_instances), self.max_instances)
-        committed = signal.current_instances + signal.pending_instances
+        committed = (
+            signal.current_instances
+            + signal.pending_instances
+            + signal.pending_retries
+        )
         reason = (
             f"{self.policy.name}: desired={desired} current={signal.current_instances}"
             f"{f'+{signal.pending_instances} launching' if signal.pending_instances else ''}"
+            f"{f'+{signal.pending_retries} retrying' if signal.pending_retries else ''}"
         )
         if desired > committed:
             if self._in_cooldown(signal.time, scaling_down=False):

@@ -167,6 +167,22 @@ class InterruptionArranger:
             return None
         return min(live)
 
+    @staticmethod
+    def is_early_preemption(
+        announced_deadline: Optional[float],
+        actual_time: float,
+        tolerance: float = 1e-9,
+    ) -> bool:
+        """Whether a reclaim at *actual_time* beats its announced deadline.
+
+        The tolerance absorbs floating-point noise so an on-time reclaim
+        (the only kind the fault-free provider ever delivers) is never
+        misclassified as early -- that keeps the detection digest-neutral.
+        """
+        if announced_deadline is None:
+            return False
+        return actual_time < announced_deadline - tolerance
+
     def rearrange_for_early_preemption(
         self, arrangement: InterruptionArrangement, actual_deadline: float, now: float
     ) -> InterruptionArrangement:

@@ -40,6 +40,7 @@ from ..cloud.instance import Instance
 from ..cloud.manager import InstanceManager
 from ..cloud.provider import CloudProvider
 from ..engine.batching import Batch, RequestQueue
+from ..faults.injector import FaultInjector, RetryPolicy
 from ..engine.context import DeviceId, MetaContextManager
 from ..engine.pipeline import InferencePipeline, PipelineAssignment
 from ..engine.placement import TopologyPosition, mesh_positions
@@ -58,7 +59,7 @@ from .autoscaler import Autoscaler, AutoscaleSignal, ZoneView, make_autoscaler
 from .config import ConfigurationSpace, ParallelConfig
 from .controller import OptimizerDecision, ParallelizationController
 from .device_mapper import DeviceMapper, DeviceMapping
-from .interruption import InterruptionArranger
+from .interruption import InterruptionArrangement, InterruptionArranger
 from .migration import MigrationPlan, MigrationPlanner
 from .stats import AutoscaleRecord, ReconfigurationRecord, ServingStats
 
@@ -119,6 +120,23 @@ class SpotServeOptions:
     admission_params: Optional[Dict] = None
     #: Pre-built admission policy instance (overrides ``admission``).
     admission_policy: Optional[AdmissionPolicy] = None
+    #: Cloud-fault injector (see :mod:`repro.faults`).  ``None`` disables
+    #: every fault hook entirely -- byte-identical to builds without the
+    #: subsystem (the golden digests pin this, like ``admission``).  The
+    #: provider's injector is adopted when only the provider carries one.
+    fault_injector: Optional[FaultInjector] = None
+    #: Retry refused or failed acquisitions with capped exponential backoff.
+    #: ``None`` means *auto*: retries turn on exactly when a fault injector
+    #: is installed (retrying by-design spot-market refusals would change
+    #: the fault-free goldens; retrying injected refusals is the point).
+    acquisition_retries: Optional[bool] = None
+    #: Backoff policy for acquisition retries (base/cap/attempts/jitter).
+    retry_policy: RetryPolicy = RetryPolicy()
+    #: Launch-watchdog timeout as a multiple of the instance type's startup
+    #: delay; launches still not ready by then are abandoned and re-requested
+    #: in surviving zones.  ``0`` disables the watchdog.  Only armed while
+    #: retries are enabled.
+    launch_watchdog_multiplier: float = 3.0
 
 
 class ServingSystemBase:
@@ -202,6 +220,28 @@ class ServingSystemBase:
         else:
             self.admission = None
 
+        # Fault injection + acquisition resilience.  The injector can arrive
+        # through the options or already installed on the provider; either
+        # way both ends see the same object and its counters mirror into
+        # ``self.stats``.  With no injector (the default) every hook below
+        # is a no-op and the run is byte-identical to the fault-free code.
+        injector = self.options.fault_injector or provider.fault_injector
+        self.fault_injector = injector
+        if injector is not None:
+            provider.fault_injector = injector
+            injector.bind_stats(self.stats)
+            self.network.degradation = self._current_bandwidth_factor
+        if self.options.acquisition_retries is None:
+            self._retries_enabled = injector is not None
+        else:
+            self._retries_enabled = bool(self.options.acquisition_retries)
+        self._retry_policy = self.options.retry_policy
+        #: Instances awaiting a scheduled backoff retry (fed to the
+        #: autoscaler as ``pending_retries`` so it never double-requests).
+        self._pending_retries: int = 0
+        #: Launch-watchdog events per still-launching instance id.
+        self._watchdog_events: Dict[str, Event] = {}
+
         self.current_config: Optional[ParallelConfig] = None
         self.pipelines: List[InferencePipeline] = []
         self._completion_events: Dict[int, Event] = {}
@@ -237,6 +277,7 @@ class ServingSystemBase:
         self.simulator.on(EventType.PREEMPTION_FINAL, self._on_preemption_final)
         self.simulator.on(EventType.ZONE_OUTAGE, self._on_zone_outage)
         self.simulator.on(EventType.ACQUISITION_READY, self._on_acquisition_ready)
+        self.simulator.on(EventType.LAUNCH_FAILURE, self._on_launch_failure)
         self.simulator.on(EventType.BATCH_COMPLETION, self._on_batch_completion)
         self.simulator.on(EventType.RECONFIGURATION, self._on_reconfiguration)
         self.simulator.on(EventType.MIGRATION_COMPLETE, self._on_migration_complete)
@@ -343,6 +384,17 @@ class ServingSystemBase:
     def handle_preemption_final(self, instance: Instance) -> None:
         """React to an instance disappearing (subclasses override)."""
 
+    def handle_early_preemption(
+        self, instance: Instance, announced_deadline: float
+    ) -> None:
+        """React to a reclaim that beat its announced deadline (Section 4.2).
+
+        Called *before* :meth:`handle_preemption_final` when the
+        ``PREEMPTION_FINAL`` fires earlier than the deadline the notice
+        advertised (only the fault injector produces such reclaims;
+        subclasses override to rearrange in-flight work).
+        """
+
     def handle_context_dropped(self, instance_id: str) -> None:
         """React to an instance's context leaving the meta-context.
 
@@ -395,8 +447,17 @@ class ServingSystemBase:
 
     def _on_preemption_final(self, event: Event) -> None:
         instance: Instance = event.payload["instance"]
+        # Detect a reclaim landing before its announced deadline *before*
+        # the bookkeeping pops the deadline.  The fault-free provider never
+        # fires a final early (zone outages included), so with no injector
+        # this comparison is always false and the path is digest-neutral.
+        announced = self._pending_deadlines.get(instance.instance_id)
+        early = InterruptionArranger.is_early_preemption(announced, event.time)
         self.instance_manager.on_preemption_final(event)
         self._pending_deadlines.pop(instance.instance_id, None)
+        if early:
+            self.stats.early_preemptions += 1
+            self.handle_early_preemption(instance, announced)
         self.handle_preemption_final(instance)
         self.meta_context.drop_instance(instance.instance_id)
         self.handle_context_dropped(instance.instance_id)
@@ -404,6 +465,9 @@ class ServingSystemBase:
     def _on_acquisition_ready(self, event: Event) -> None:
         instance: Instance = event.payload["instance"]
         self.stats.acquisitions += 1
+        watchdog = self._watchdog_events.pop(instance.instance_id, None)
+        if watchdog is not None:
+            watchdog.cancel()
         self.instance_manager.on_acquisition_ready(event)
         doom_deadline = self._zone_doom_deadlines.get(instance.zone)
         if doom_deadline is not None:
@@ -446,6 +510,27 @@ class ServingSystemBase:
 
     def handle_zone_outage(self, zone: str, phase: str, payload: Dict) -> None:
         """React to a zone-outage phase (subclasses override)."""
+
+    def _on_launch_failure(self, event: Event) -> None:
+        """A granted instance died while still launching (fault injection).
+
+        The provider's callback already failed the instance and set
+        ``applied`` in the payload (False when a zone outage or preemption
+        got there first).  The server forgets the instance and -- when
+        retries are enabled -- re-requests the lost capacity with backoff,
+        avoiding the zone that just failed the launch.
+        """
+        instance: Instance = event.payload["instance"]
+        if not event.payload.get("applied", False):
+            return
+        self.instance_manager.on_launch_failure(event)
+        self._pending_deadlines.pop(instance.instance_id, None)
+        watchdog = self._watchdog_events.pop(instance.instance_id, None)
+        if watchdog is not None:
+            watchdog.cancel()
+        self._schedule_acquisition_retry(
+            1, zone=instance.zone, avoid=(instance.zone,), trigger="launch-failure"
+        )
 
     def _on_workload_check(self, event: Event) -> None:
         # Overload control first: shedding runs before the autoscaler and
@@ -551,6 +636,7 @@ class ServingSystemBase:
             current_instances=self.instance_manager.available_count(),
             gpus_per_instance=self.gpus_per_instance,
             pending_instances=launching,
+            pending_retries=self._pending_retries,
             spot_requests_allowed=self.provider.allow_spot_requests,
             zones=zones,
         )
@@ -575,10 +661,16 @@ class ServingSystemBase:
         if decision.is_noop:
             return
         acquired: Dict[str, int] = {}
+        shortfall: Dict[str, int] = {}
         for zone in sorted(decision.acquire):
-            granted = self.instance_manager.alloc(decision.acquire[zone], zone=zone)
+            want = decision.acquire[zone]
+            granted = self.instance_manager.alloc(want, zone=zone)
+            self._watch_launches(granted)
             if granted:
                 acquired[zone] = len(granted)
+            missing = want - len(granted)
+            if missing > 0:
+                shortfall[zone] = missing
         released: Dict[str, int] = {}
         if decision.release:
             in_use = self._pipeline_instance_ids()
@@ -591,8 +683,23 @@ class ServingSystemBase:
         if not acquired and not released:
             # Nothing could be applied (e.g. every grant failed); undo the
             # cooldown so the phantom action does not suppress real scaling.
+            # A backoff retry (when enabled) still chases the unmet demand,
+            # and ``pending_retries`` keeps the next round from also
+            # re-requesting it.
+            if shortfall:
+                self._schedule_acquisition_retry(
+                    sum(shortfall.values()), zone=None, trigger="autoscale"
+                )
             self.autoscaler.cancel_last_action(signal.time)
             return
+        if shortfall:
+            missing_total = sum(shortfall.values())
+            if not self._schedule_acquisition_retry(
+                missing_total, zone=None, trigger="autoscale"
+            ):
+                # No retry machinery to chase it: the demand is terminally
+                # unmet and lands in the shortfall counter instead.
+                self.stats.allocation_shortfall += missing_total
         self.stats.record_autoscale(
             AutoscaleRecord(
                 time=signal.time,
@@ -602,8 +709,120 @@ class ServingSystemBase:
                 released=released,
                 fleet_before=signal.current_instances,
                 desired_instances=decision.desired_instances,
+                shortfall=shortfall,
             )
         )
+
+    # ------------------------------------------------------------------
+    # Acquisition resilience (retry/backoff + launch watchdog)
+    # ------------------------------------------------------------------
+    def _current_bandwidth_factor(self) -> float:
+        """Bandwidth divisor at the current instant (network degradation hook)."""
+        return self.fault_injector.bandwidth_factor(self.simulator.now)
+
+    def _retry_jitter(self, zone: Optional[str]) -> float:
+        """Seeded uniform [0,1) draw for backoff jitter."""
+        if self.fault_injector is not None:
+            return self.fault_injector.retry_jitter(zone or "any")
+        return 0.0
+
+    def _schedule_acquisition_retry(
+        self,
+        count: int,
+        zone: Optional[str],
+        avoid: Sequence[str] = (),
+        attempt: int = 0,
+        trigger: str = "refusal",
+    ) -> bool:
+        """Schedule a backoff retry for *count* refused/failed acquisitions.
+
+        Returns True when a retry was scheduled; False when retries are
+        disabled or the attempt budget is exhausted (the caller then reports
+        the demand as terminally unmet).  ``zone`` scopes the jitter stream
+        (and names the zone that refused, for diagnostics); the retry itself
+        spreads over every non-avoided zone so capacity recovers wherever
+        the cloud still sells it.
+        """
+        if not self._retries_enabled or count <= 0:
+            return False
+        if attempt >= self._retry_policy.max_attempts:
+            return False
+        delay = self._retry_policy.delay(attempt, self._retry_jitter(zone))
+        self._pending_retries += count
+        self.simulator.schedule_after(
+            delay,
+            EventType.GENERIC,
+            payload={
+                "server_action": "acquisition_retry",
+                "count": count,
+                "zone": zone,
+                "avoid": tuple(avoid),
+                "attempt": attempt,
+                "trigger": trigger,
+            },
+            callback=self._on_acquisition_retry,
+        )
+        return True
+
+    def _on_acquisition_retry(self, event: Event) -> None:
+        """Fire one backoff retry: re-request, then re-arm or give up."""
+        payload = event.payload
+        count: int = payload["count"]
+        self._pending_retries -= count
+        self.stats.acquisition_retries += 1
+        avoid = set(payload["avoid"]) | set(self._zone_doom_deadlines)
+        granted = self.instance_manager.alloc(count, avoid_zones=tuple(avoid))
+        self._watch_launches(granted)
+        missing = count - len(granted)
+        if missing <= 0:
+            return
+        if not self._schedule_acquisition_retry(
+            missing,
+            zone=payload["zone"],
+            avoid=payload["avoid"],
+            attempt=payload["attempt"] + 1,
+            trigger=payload["trigger"],
+        ):
+            # Bounded backoff exhausted: report instead of retrying forever.
+            self.stats.allocation_shortfall += missing
+
+    def _watch_launches(self, granted: Sequence[Instance]) -> None:
+        """Arm the launch watchdog for every newly granted instance."""
+        multiplier = self.options.launch_watchdog_multiplier
+        if not self._retries_enabled or multiplier <= 0:
+            return
+        timeout = multiplier * self.provider.instance_type.startup_delay
+        for instance in granted:
+            event = self.simulator.schedule_after(
+                timeout,
+                EventType.GENERIC,
+                payload={"server_action": "launch_watchdog", "instance": instance},
+                callback=self._on_launch_watchdog,
+            )
+            self._watchdog_events[instance.instance_id] = event
+
+    def _on_launch_watchdog(self, event: Event) -> None:
+        """Abandon a launch stuck past the watchdog timeout and re-request.
+
+        Straggler launches whose stretched startup delay exceeds the
+        watchdog bound are released (their ready announcement is cancelled
+        by the provider) and one replacement is requested in the surviving
+        zones, avoiding the zone that stalled.
+        """
+        instance: Instance = event.payload["instance"]
+        self._watchdog_events.pop(instance.instance_id, None)
+        if not instance.is_launching:
+            return  # Became ready, failed, or died with its zone: nothing to do.
+        self.provider.release(instance)
+        self.stats.acquisition_retries += 1
+        avoid = set(self._zone_doom_deadlines)
+        avoid.add(instance.zone)
+        granted = self.instance_manager.alloc(1, avoid_zones=tuple(avoid))
+        self._watch_launches(granted)
+        if not granted and not self._schedule_acquisition_retry(
+            1, zone=instance.zone, avoid=(instance.zone,), trigger="watchdog"
+        ):
+            self.stats.allocation_shortfall += 1
 
     def _on_batch_completion(self, event: Event) -> None:
         pipeline, batch = event.payload  # type: InferencePipeline, Batch
@@ -1015,6 +1234,15 @@ class SpotServeSystem(ServingSystemBase):
         )
         self.interruption_arranger = InterruptionArranger(self.latency_model)
         self._downscale_votes = 0
+        #: Last JIT arrangement per busy pipeline (``id(pipeline)`` keyed),
+        #: refreshed by :meth:`_jit_stop_time`; consumed when a reclaim
+        #: lands earlier than announced (Section 4.2 rearrangement).
+        self._active_arrangements: Dict[int, InterruptionArrangement] = {}
+        #: Bandwidth-degradation factor the planner's memoised plans were
+        #: computed under; a change invalidates the whole-plan memo (its
+        #: keys do not encode the network state).  Constant 1.0 without a
+        #: fault injector, so the memo is never invalidated off-path.
+        self._last_bandwidth_factor = 1.0
         #: Zones currently under an outage (warning or dark).  While any is
         #: active the mapper and planner run in evacuation mode: intra-zone
         #: placement preference and same-zone source ranking are suspended so
@@ -1045,6 +1273,48 @@ class SpotServeSystem(ServingSystemBase):
         if not affected:
             return
         self._plan_reconfiguration(reason="preemption-final")
+
+    def handle_early_preemption(
+        self, instance: Instance, announced_deadline: float
+    ) -> None:
+        """Section 4.2: the reclaim beat its announced grace deadline.
+
+        Every pipeline still touching the vanished instance had (at most)
+        a JIT arrangement budgeted against the *announced* deadline; that
+        budget is now void.  Each arrangement is rearranged with
+        :meth:`~repro.core.interruption.InterruptionArranger
+        .rearrange_for_early_preemption` -- decoding stops immediately and
+        the cache context is abandoned -- and the pipelines are torn down
+        accordingly (requests re-queued without their cache, conserving
+        every request), then a fresh plan is made for the survivors.
+        """
+        now = self.simulator.now
+        affected = [
+            pipeline
+            for pipeline in self.pipelines
+            if pipeline.uses_instance(instance.instance_id)
+        ]
+        if not affected:
+            return
+        preserve_any = False
+        for pipeline in affected:
+            arrangement = self._active_arrangements.pop(id(pipeline), None)
+            if arrangement is None:
+                # No JIT arrangement was in flight for this pipeline (e.g.
+                # the notice and the early reclaim raced a planning round):
+                # rearrange a fresh empty preemption arrangement instead.
+                arrangement = InterruptionArrangement(
+                    0, now, migrate_cache=True, kind="preemption"
+                )
+            rearranged = self.interruption_arranger.rearrange_for_early_preemption(
+                arrangement, actual_deadline=now, now=now
+            )
+            preserve_any = preserve_any or rearranged.migrate_cache
+        if not preserve_any:
+            # The rearrangement rule always abandons the cache: tear the
+            # affected pipelines down (interrupt + re-queue, cache dropped).
+            self._teardown_pipelines_using({instance.instance_id})
+        self._plan_reconfiguration(reason="early-preemption")
 
     def handle_zone_outage(self, zone: str, phase: str, payload: Dict) -> None:
         """Evacuate the fleet out of a dying zone (the tentpole fault path).
@@ -1203,9 +1473,19 @@ class SpotServeSystem(ServingSystemBase):
                 # Never buy replacement capacity in a zone that is under an
                 # outage warning -- every grant there dies at the outage
                 # start (the autoscaler path masks such zones the same way).
-                self.instance_manager.alloc(
+                granted = self.instance_manager.alloc(
                     budget, avoid_zones=tuple(self._zone_doom_deadlines)
                 )
+                self._watch_launches(granted)
+                missing = budget - len(granted)
+                if missing > 0:
+                    # Chase refused capacity with backoff when retries are
+                    # on; a plain spot-market "no" (the by-design fault-free
+                    # refusal) is not counted as shortfall here -- Algorithm
+                    # 1 re-requests at the next trigger anyway.
+                    self._schedule_acquisition_retry(
+                        missing, zone=None, trigger="growth"
+                    )
         else:
             release = available - target.config.num_instances(self.gpus_per_instance)
             if release > 0:
@@ -1293,6 +1573,14 @@ class SpotServeSystem(ServingSystemBase):
     ) -> Tuple[Dict[DeviceId, TopologyPosition], float, float, float, float, bool]:
         """Compute placement, stall, stop time and migration volume for a switch."""
         now = self.simulator.now
+        if self.fault_injector is not None:
+            # The whole-plan memo keys on context/mapping inputs only, not
+            # on the network state: plans cached under a different
+            # degradation factor would report stale migration times.
+            factor = self.fault_injector.bandwidth_factor(now)
+            if factor != self._last_bandwidth_factor:
+                self.migration_planner.invalidate_plan_memo()
+                self._last_bandwidth_factor = factor
         devices = self._available_devices()
         inheritance = self._pipeline_inheritance(new_config)
         cache_info = self._cache_requirements(new_config, inheritance)
@@ -1316,14 +1604,40 @@ class SpotServeSystem(ServingSystemBase):
         launch_overhead = self.options.engine_launch_time if fresh_instances else 0.0
 
         stop_time = now
+        preserve = self.options.stateful_recovery
         effective_deadline = self.interruption_arranger.merge_overlapping_deadlines(
             list(self._pending_deadlines.values())
         )
-        if reason in ("preemption", "preemption-final", "zone-outage", "zone-outage-final"):
+        if reason in (
+            "preemption",
+            "preemption-final",
+            "zone-outage",
+            "zone-outage-final",
+            "early-preemption",
+        ):
+            if (
+                self.fault_injector is not None
+                and preserve
+                and effective_deadline is not None
+                and now + plan.migration_time > effective_deadline
+            ):
+                # Graceful degradation: the (possibly degraded) network can
+                # no longer complete the migration inside the grace window,
+                # so arranging cache preservation against that deadline
+                # would schedule work the reclaim is going to cut in half.
+                # Fall back to rerouting: interrupt without preserving
+                # caches (requests re-queue and recompute) and migrate only
+                # what the model-context plan needs.  The weight moves the
+                # plan still contains are unavoidable either way and keep
+                # their stall.
+                self.stats.migration_fallbacks += 1
+                preserve = False
+                if cache_info:
+                    plan = self.migration_planner.plan(self.meta_context, mapping, {})
             # The engine launch of any fresh instance cannot be hidden behind
             # the grace period, so it adds to the stall.
             stall_time = max(plan.migration_time, launch_overhead)
-            if self.options.stateful_recovery and effective_deadline is not None:
+            if preserve and effective_deadline is not None:
                 stop_time = self._jit_stop_time(effective_deadline, plan)
         else:
             # Acquisition / workload changes are not under grace-period
@@ -1338,7 +1652,7 @@ class SpotServeSystem(ServingSystemBase):
             stop_time,
             plan.total_bytes,
             mapping.reused_bytes,
-            self.options.stateful_recovery,
+            preserve,
         )
 
     def _static_decision(
@@ -1371,6 +1685,7 @@ class SpotServeSystem(ServingSystemBase):
         """Latest stop time that still leaves room for the migration itself."""
         now = self.simulator.now
         stop_time = now
+        self._active_arrangements = {}
         for pipeline in self.pipelines:
             if not pipeline.is_busy or self.current_config is None:
                 continue
@@ -1381,6 +1696,7 @@ class SpotServeSystem(ServingSystemBase):
                 deadline,
                 plan.migration_time,
             )
+            self._active_arrangements[id(pipeline)] = arrangement
             stop_time = max(stop_time, arrangement.stop_time)
         return min(stop_time, max(deadline - plan.migration_time, now))
 

@@ -41,11 +41,20 @@ class AutoscaleRecord:
     released: Dict[str, int] = field(default_factory=dict)
     fleet_before: int = 0
     desired_instances: int = 0
+    #: Instances requested but *not* granted, per zone (cloud capacity or
+    #: injected insufficient-capacity refusals).  Empty when every request
+    #: was satisfied, so pre-existing records digest identically.
+    shortfall: Dict[str, int] = field(default_factory=dict)
 
     @property
     def delta(self) -> int:
         """Net requested fleet change."""
         return sum(self.acquired.values()) - sum(self.released.values())
+
+    @property
+    def shortfall_total(self) -> int:
+        """Total instances refused across zones for this action."""
+        return sum(self.shortfall.values())
 
 
 @dataclass
@@ -89,6 +98,25 @@ class ServingStats:
     #: round (e.g. ``deadline-aware``: their queue age already exceeded the
     #: SLO-derived bound, so serving them would be wasted capacity).
     requests_shed: int = 0
+    #: Allocation requests refused by the cloud with insufficient-capacity
+    #: errors (fault injection; mirrored from the :class:`FaultInjector`).
+    allocation_refusals: int = 0
+    #: Granted launches that died while still ``LAUNCHING`` (fault injection).
+    launch_failures: int = 0
+    #: Acquisition retries issued by the server's backoff machinery after a
+    #: refused or failed acquisition (includes launch-watchdog re-requests).
+    acquisition_retries: int = 0
+    #: Preemption finals that fired *before* their announced grace deadline
+    #: (Section 4.2's "earlier than expected" case).
+    early_preemptions: int = 0
+    #: Migrations abandoned because the (possibly degraded) network could no
+    #: longer beat the grace deadline; context was rerouted instead.
+    migration_fallbacks: int = 0
+    #: Instances the serving system asked for and *terminally* never
+    #: received: autoscaler demand with no retry machinery to chase it, or
+    #: demand whose bounded-backoff retries exhausted.  Per-round detail
+    #: lives in :attr:`AutoscaleRecord.shortfall`.
+    allocation_shortfall: int = 0
     config_timeline: List[Tuple[float, ParallelConfig]] = field(default_factory=list)
     #: Streaming aggregates, filled by :meth:`record_completion`.
     _completed_count: int = field(default=0, init=False, repr=False)
@@ -209,6 +237,12 @@ class ServingStats:
                 "requests_dropped": self.requests_dropped,
                 "requests_rejected": self.requests_rejected,
                 "requests_shed": self.requests_shed,
+                "allocation_refusals": self.allocation_refusals,
+                "launch_failures": self.launch_failures,
+                "acquisition_retries": self.acquisition_retries,
+                "early_preemptions": self.early_preemptions,
+                "migration_fallbacks": self.migration_fallbacks,
+                "allocation_shortfall": self.allocation_shortfall,
             }
         )
         return summary

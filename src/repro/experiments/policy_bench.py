@@ -3,9 +3,11 @@
 PR 1 added three demand-driven sizing policies (target-utilization,
 queue-latency, cost-aware) plus the cheapest/priciest zone arbitrage, but
 they were never compared against each other.  This module sweeps every
-policy variant through the three canonical multi-zone stress scenarios --
-the fluctuating (MAF-like) workload, the >=heavy-traffic event-core stress
-and the zone-outage fault-injection scenario -- under *identical* seeded
+policy variant through the canonical multi-zone stress scenarios --
+the fluctuating (MAF-like) workload, the >=heavy-traffic event-core stress,
+the zone-outage scenario and the ``chaos`` cloud-fault-injection scenario
+(refusals / launch failures / stragglers / early reclaims / degraded
+bandwidth, all seeded) -- under *identical* seeded
 workloads and traces, and distils each run into one row: monetary cost, p99
 latency and requests left unserved (``requests_unserved`` -- with
 SpotServe's conservation guarantee these are still queued at the cutoff,
@@ -33,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .runner import ExperimentResult, run_scenario_experiment
 from .scenarios import (
+    chaos_scenario,
     heavy_traffic_scenario,
     multi_zone_fluctuating_scenario,
     overload_scenario,
@@ -50,8 +53,16 @@ POLICY_VARIANTS: Dict[str, Dict[str, str]] = {
     "cost-aware-priciest": {"autoscale_policy": "cost-aware", "arbitrage": "priciest"},
 }
 
-#: Scenarios every policy runs through (same seeds, same traces).
-BENCH_SCENARIOS: Tuple[str, ...] = ("fluctuating", "heavy-traffic", "zone-outage")
+#: Scenarios every policy runs through (same seeds, same traces).  The
+#: ``chaos`` cell layers the seeded fault plan (refusals, launch failures,
+#: stragglers, early reclaims, degraded-bandwidth windows) on top of a dense
+#: preemption market, so its rows also compare each policy's resilience
+#: counters under identical injected faults.
+BENCH_SCENARIOS: Tuple[str, ...] = ("fluctuating", "heavy-traffic", "zone-outage", "chaos")
+
+#: Request volume of the chaos cell (kept below the scenario default so the
+#: full 4-policy sweep stays interactive).
+DEFAULT_CHAOS_TARGET_REQUESTS = 20_000
 
 #: Default request volume of the heavy-traffic cell.  Smaller than the perf
 #: harness's 100k so a full 4-policy sweep stays interactive; override via
@@ -103,6 +114,15 @@ def build_cell(
     elif scenario_name == "zone-outage":
         scenario, arrivals = zone_outage_scenario(
             "OPT-6.7B", duration=900.0, seed=seed, autoscale_policy=policy
+        )
+        drain = 300.0
+    elif scenario_name == "chaos":
+        scenario, arrivals = chaos_scenario(
+            "OPT-6.7B",
+            duration=900.0,
+            seed=seed,
+            target_requests=DEFAULT_CHAOS_TARGET_REQUESTS,
+            autoscale_policy=policy,
         )
         drain = 300.0
     else:
@@ -169,6 +189,12 @@ def result_row(
         "requests_rerouted": stats.requests_rerouted,
         "zone_outages": stats.zone_outages,
         "preemption_notices": stats.preemption_notices,
+        "allocation_refusals": stats.allocation_refusals,
+        "launch_failures": stats.launch_failures,
+        "acquisition_retries": stats.acquisition_retries,
+        "early_preemptions": stats.early_preemptions,
+        "migration_fallbacks": stats.migration_fallbacks,
+        "allocation_shortfall": stats.allocation_shortfall,
         "autoscale_actions": len(stats.autoscale_actions),
         "reconfigurations": len(stats.reconfigurations),
         "cost_per_token": _finite(result.cost_per_token),

@@ -19,6 +19,7 @@ from ..cloud.trace import AvailabilityTrace
 from ..cloud.zone import ZoneSpec
 from ..core.server import ServingSystemBase, SpotServeOptions, SpotServeSystem
 from ..core.stats import ServingStats
+from ..faults.injector import FaultInjector, FaultPlan
 from ..llm.spec import ModelSpec, get_model
 from ..sim.engine import Simulator
 from ..workload.arrival import ArrivalProcess
@@ -106,6 +107,8 @@ def run_serving_experiment(
     zones: Optional[Sequence[ZoneSpec]] = None,
     allow_spot_requests: bool = False,
     stream_arrivals: bool = True,
+    fault_injector: Optional[FaultInjector] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ExperimentResult:
     """Run one serving experiment end to end.
 
@@ -148,7 +151,19 @@ def run_serving_experiment(
         draws the same seeded timestamps in the same order -- so this only
         changes memory/scheduling cost, never results.  Ignored when
         *requests* is given.
+    fault_injector:
+        A pre-built :class:`~repro.faults.injector.FaultInjector` attached
+        to the cloud provider (``None`` -- the default -- installs no
+        injector and leaves the run byte-identical to the fault-free code).
+    fault_plan:
+        Convenience alternative to *fault_injector*: a hashable/picklable
+        :class:`~repro.faults.injector.FaultPlan` from which a *fresh*
+        injector is built inside this call.  Sweeps that rerun the same
+        configuration (serial or in worker processes) should pass the plan,
+        not a shared injector, so every run starts from virgin RNG streams.
     """
+    if fault_injector is None and fault_plan is not None:
+        fault_injector = FaultInjector(fault_plan)
     model_spec = get_model(model) if isinstance(model, str) else model
     if trace is not None:
         default_duration = trace.duration
@@ -168,6 +183,7 @@ def run_serving_experiment(
         trace_market=trace_market,
         zones=zones,
         allow_spot_requests=allow_spot_requests,
+        fault_injector=fault_injector,
     )
     workload: Optional[List[Request]]
     if requests is not None:
@@ -254,6 +270,14 @@ def run_scenario_experiment(
     Returns:
         The :class:`ExperimentResult` of the run.
     """
+    if (
+        getattr(scenario, "fault_plan", None) is not None
+        and "fault_plan" not in kwargs
+        and "fault_injector" not in kwargs
+    ):
+        # A fresh injector per run (built inside run_serving_experiment from
+        # the plan) keeps reruns and multi-process sweeps deterministic.
+        kwargs["fault_plan"] = scenario.fault_plan
     return run_serving_experiment(
         system_cls,
         scenario.model_name,

@@ -17,6 +17,7 @@ from ..cloud.pricing import PriceSchedule
 from ..cloud.trace import AvailabilityTrace, TraceEvent, TraceEventKind, get_trace
 from ..cloud.zone import OutageWindow, ZoneSpec
 from ..core.server import ServingSystemBase, SpotServeOptions, SpotServeSystem
+from ..faults.injector import DegradedWindow, FaultPlan, ZoneFaultModel
 from ..workload.arrival import GammaArrivals, TimeVaryingArrivals, default_rate_for
 from ..workload.maf import synthesize_maf_profile
 
@@ -134,6 +135,13 @@ class MultiZoneScenario:
     #: Keyword arguments for the admission-policy factory (hashable tuple of
     #: ``(key, value)`` pairs so the scenario stays frozen/hashable).
     admission_params: Optional[Tuple[Tuple[str, object], ...]] = None
+    #: Cloud-fault plan (see :mod:`repro.faults`); ``None`` -- the default
+    #: everywhere -- means *no injector is installed* and the run is
+    #: byte-identical to the pre-fault code.  The plan (not an injector) is
+    #: stored so the scenario stays frozen/hashable/picklable; the runner
+    #: builds one fresh :class:`~repro.faults.injector.FaultInjector` per
+    #: run from it, keeping parallel sweeps deterministic.
+    fault_plan: Optional[FaultPlan] = None
 
     @property
     def initial_instances(self) -> int:
@@ -337,6 +345,167 @@ def heavy_traffic_scenario(
         max_instances=36,
         cooldown=60.0,
         retain_completed_requests=False,
+    )
+    return scenario, rescaled.to_arrival_process(cv=6.0, seed=seed)
+
+
+def chaos_market(duration: float = 900.0) -> Tuple[ZoneSpec, ...]:
+    """The heavy-traffic market with much denser preemption churn.
+
+    Same zones, capacities and price spike as :func:`heavy_traffic_market`,
+    but the two volatile zones are hit by a preemption (or a capacity
+    give-back) roughly every ``duration / 10`` seconds.  The churn matters
+    for the chaos scenario specifically: each reconfiguration leaves resumed
+    batches with committed tokens decoding on the new deployment, and only a
+    preemption notice that lands *while* such a batch is in flight puts a
+    cache migration under grace-deadline pressure -- the situation the
+    degraded-bandwidth windows turn into a migration fallback.
+    """
+    zone_a = ZoneSpec(
+        name="us-east-1a",
+        trace=AvailabilityTrace(
+            name="1a-chaos",
+            initial_instances=8,
+            events=[
+                TraceEvent(0.10 * duration, TraceEventKind.PREEMPT, 2),
+                TraceEvent(0.20 * duration, TraceEventKind.PREEMPT, 1),
+                TraceEvent(0.30 * duration, TraceEventKind.ACQUIRE, 2),
+                TraceEvent(0.40 * duration, TraceEventKind.PREEMPT, 2),
+                TraceEvent(0.55 * duration, TraceEventKind.PREEMPT, 1),
+                TraceEvent(0.65 * duration, TraceEventKind.ACQUIRE, 1),
+                TraceEvent(0.75 * duration, TraceEventKind.PREEMPT, 2),
+                TraceEvent(0.85 * duration, TraceEventKind.PREEMPT, 1),
+            ],
+            duration=duration,
+        ),
+        capacity=16,
+        spot_pricing=PriceSchedule(
+            base_price=1.5,
+            changes=((0.40 * duration, 3.2), (0.70 * duration, 1.6)),
+        ),
+    )
+    zone_b = ZoneSpec(
+        name="us-east-1b",
+        trace=AvailabilityTrace(
+            name="1b-chaos",
+            initial_instances=6,
+            events=[
+                TraceEvent(0.25 * duration, TraceEventKind.PREEMPT, 1),
+                TraceEvent(0.45 * duration, TraceEventKind.PREEMPT, 2),
+                TraceEvent(0.80 * duration, TraceEventKind.ACQUIRE, 1),
+            ],
+            duration=duration,
+        ),
+        capacity=12,
+        spot_pricing=PriceSchedule.flat(1.9),
+        # A mid-run full-zone outage *inside* the second degraded-bandwidth
+        # window: the evacuation must move whole pipelines (cache + weights)
+        # cross-zone on a tenth of the bandwidth, which is what pushes
+        # migrations past the 30 s grace deadline and onto the
+        # reroute-fallback path.
+        outages=(
+            OutageWindow(
+                start=0.55 * duration, duration=0.15 * duration, warning=30.0
+            ),
+        ),
+    )
+    zone_c = ZoneSpec(
+        name="us-west-2a",
+        trace=AvailabilityTrace(
+            name="2a-chaos",
+            initial_instances=4,
+            events=[],
+            duration=duration,
+        ),
+        capacity=8,
+        spot_pricing=PriceSchedule.flat(2.6),
+        on_demand_pricing=PriceSchedule.flat(4.4),
+    )
+    return (zone_a, zone_b, zone_c)
+
+
+def chaos_fault_plan(duration: float = 900.0, seed: int = 0) -> FaultPlan:
+    """A mixed fault plan exercising every injector fault kind at once.
+
+    * the volatile cheap zone (``us-east-1a``) gets the harshest model:
+      frequent insufficient-capacity refusals, launch failures, stragglers
+      and early spot reclaims (Section 4.2's "earlier than expected" case),
+    * every other zone runs a milder default model, so retries that flee a
+      refusing zone can still land somewhere,
+    * two degraded-bandwidth windows bracket the preemption waves of
+      :func:`heavy_traffic_market`, so migrations planned during a wave can
+      no longer beat the grace deadline and must fall back to rerouting.
+    """
+    return FaultPlan(
+        seed=seed,
+        default_model=ZoneFaultModel(
+            refusal_prob=0.15,
+            launch_failure_prob=0.08,
+            straggler_prob=0.2,
+            straggler_multiplier=2.5,
+            early_preemption_prob=0.45,
+            min_grace_fraction=0.2,
+        ),
+        zone_models=(
+            (
+                "us-east-1a",
+                ZoneFaultModel(
+                    refusal_prob=0.35,
+                    launch_failure_prob=0.15,
+                    straggler_prob=0.3,
+                    straggler_multiplier=4.0,
+                    early_preemption_prob=0.6,
+                    min_grace_fraction=0.15,
+                ),
+            ),
+        ),
+        degraded_windows=(
+            DegradedWindow(
+                start=0.10 * duration, end=0.25 * duration, bandwidth_factor=6.0
+            ),
+            DegradedWindow(
+                start=0.50 * duration, end=0.85 * duration, bandwidth_factor=10.0
+            ),
+        ),
+    )
+
+
+def chaos_scenario(
+    model_name: str = "OPT-6.7B",
+    duration: float = 900.0,
+    seed: int = 0,
+    target_requests: int = 40_000,
+    autoscale_policy: str = "cost-aware",
+) -> Tuple[MultiZoneScenario, TimeVaryingArrivals]:
+    """Heavy traffic *plus* the mixed cloud-fault plan: the chaos scenario.
+
+    The market is :func:`chaos_market` (the heavy-traffic fleet with much
+    denser preemption churn), the workload shape is
+    :func:`heavy_traffic_scenario`'s MAF-like fluctuating profile compressed
+    to ``duration`` seconds, and :func:`chaos_fault_plan` is layered on top.  Every resilience path runs on
+    the measured path at once: refused acquisitions back off and retry,
+    failed/stuck launches hit the watchdog and are re-requested in surviving
+    zones, spot reclaims fire before their announced deadlines (driving the
+    Section 4.2 rearrangement), and migrations planned inside the degraded
+    windows fall back to rerouting.  The conservation invariant must hold
+    throughout -- the chaos regression tests pin it at random probe points.
+    """
+    if target_requests <= 0:
+        raise ValueError("target_requests must be positive")
+    profile = synthesize_maf_profile(duration=duration, seed=seed)
+    mean_rate = 1.06 * target_requests / duration
+    rescaled = profile.rescaled(mean_rate)
+    scenario = MultiZoneScenario(
+        model_name=model_name,
+        zones=chaos_market(duration),
+        duration=duration,
+        seed=seed,
+        autoscale_policy=autoscale_policy,
+        min_instances=4,
+        max_instances=36,
+        cooldown=60.0,
+        retain_completed_requests=False,
+        fault_plan=chaos_fault_plan(duration, seed=seed),
     )
     return scenario, rescaled.to_arrival_process(cv=6.0, seed=seed)
 

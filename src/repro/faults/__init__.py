@@ -1,0 +1,17 @@
+"""Cloud-fault injection: seeded per-zone fault models and retry policy."""
+
+from .injector import (
+    DegradedWindow,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    ZoneFaultModel,
+)
+
+__all__ = [
+    "DegradedWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "ZoneFaultModel",
+]

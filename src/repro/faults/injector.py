@@ -1,0 +1,296 @@
+"""Seeded, per-zone cloud-fault injection.
+
+The paper's premise is serving on an *unreliable* substrate, but until this
+module the simulated cloud only misbehaved in two scripted ways: trace-driven
+preemptions and whole-zone outages.  Real clouds also refuse allocation
+requests ("insufficient capacity"), lose instances mid-launch, deliver
+stragglers that take far longer than the nominal startup delay, reclaim spot
+instances *earlier* than the announced grace deadline, and suffer transient
+network degradation.  :class:`FaultInjector` models all five as pluggable,
+per-zone fault processes so the resilience machinery in
+:mod:`repro.core.server` (retry/backoff, launch watchdog, early-preemption
+rearrangement, migration fallback) can be driven end-to-end.
+
+Determinism contract
+--------------------
+
+Every fault kind in every zone draws from its own named RNG stream derived
+with SHA-256 from ``(plan.seed, zone, kind)`` -- the same scheme as
+:mod:`repro.sim.rng` -- so enabling one fault type never perturbs the draws
+of another, and runs are reproducible bit-for-bit from the plan alone.
+Probability-zero fault kinds short-circuit *before* drawing, so a plan that
+only enables (say) allocation refusals consumes no launch-failure entropy.
+
+Digest-neutrality contract
+--------------------------
+
+With no injector installed (the default everywhere), every hook site in the
+provider, network model and server is guarded by an ``is None`` check (or a
+``!= 1.0`` factor check) and the simulation is byte-identical to the
+pre-fault code -- the golden digests pinned in
+``tests/test_streaming_equivalence.py`` do not move.  A null plan (all
+probabilities zero) keeps the hooks *running* but behavior-free, which is
+what the non-vacuous hooks-installed test pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DegradedWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "ZoneFaultModel",
+]
+
+
+def _derive_seed(base_seed: int, name: str) -> int:
+    """Derive a child seed from *base_seed* and a stream *name* (SHA-256)."""
+    digest = hashlib.sha256(f"{base_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class ZoneFaultModel:
+    """Per-zone fault probabilities and shape parameters.
+
+    All probabilities default to zero, so ``ZoneFaultModel()`` is the null
+    model: hooks consult it but never alter behavior.
+    """
+
+    #: Probability that any single requested instance is refused with an
+    #: insufficient-capacity error (applies to spot *and* on-demand).
+    refusal_prob: float = 0.0
+    #: Probability that a granted launch dies while still ``LAUNCHING``.
+    launch_failure_prob: float = 0.0
+    #: Probability that a launch is a straggler (startup delay multiplied).
+    straggler_prob: float = 0.0
+    #: Maximum startup-delay multiplier for stragglers; the actual
+    #: multiplier is drawn uniformly from ``[1, straggler_multiplier]``.
+    straggler_multiplier: float = 1.0
+    #: Probability that a spot reclaim fires *before* the announced grace
+    #: deadline (the Section 4.2 "earlier than expected" case).
+    early_preemption_prob: float = 0.0
+    #: Earliest early reclaim, as a fraction of the grace window: the
+    #: reclaim time is drawn uniformly from
+    #: ``[now + frac * grace, deadline)``.
+    min_grace_fraction: float = 0.25
+
+    @property
+    def is_null(self) -> bool:
+        """True when every fault probability is zero."""
+        return (
+            self.refusal_prob <= 0.0
+            and self.launch_failure_prob <= 0.0
+            and self.straggler_prob <= 0.0
+            and self.early_preemption_prob <= 0.0
+        )
+
+
+@dataclass(frozen=True)
+class DegradedWindow:
+    """A time window during which network bandwidth is divided by a factor."""
+
+    start: float
+    end: float
+    #: Bandwidth divisor inside the window (2.0 means half bandwidth).
+    bandwidth_factor: float
+
+    def factor_at(self, time: float) -> float:
+        """Return the bandwidth divisor active at *time* (1.0 outside)."""
+        if self.start <= time < self.end and self.bandwidth_factor > 0.0:
+            return self.bandwidth_factor
+        return 1.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, hashable description of one chaos experiment.
+
+    Zone models are encoded as a tuple of ``(zone_name, model)`` pairs so the
+    plan can live inside frozen scenario dataclasses and be pickled across
+    worker processes unchanged.
+    """
+
+    seed: int = 0
+    #: Fallback model for zones without an explicit entry (None = no faults).
+    default_model: Optional[ZoneFaultModel] = None
+    zone_models: Tuple[Tuple[str, ZoneFaultModel], ...] = ()
+    degraded_windows: Tuple[DegradedWindow, ...] = ()
+
+    def model_for(self, zone: str) -> Optional[ZoneFaultModel]:
+        """Return the fault model governing *zone* (or None)."""
+        for name, model in self.zone_models:
+            if name == zone:
+                return model
+        return self.default_model
+
+    @property
+    def is_null(self) -> bool:
+        """True when no zone model enables any fault and no window degrades."""
+        models = [model for _, model in self.zone_models]
+        if self.default_model is not None:
+            models.append(self.default_model)
+        if any(not model.is_null for model in models):
+            return False
+        return all(window.bandwidth_factor <= 1.0 for window in self.degraded_windows)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic capped exponential backoff with seeded jitter.
+
+    ``delay(attempt, u)`` is pure: the caller supplies the uniform draw *u*
+    from its own seeded stream, so the policy itself holds no state and two
+    runs with the same streams back off identically.
+    """
+
+    base_delay: float = 2.0
+    max_delay: float = 30.0
+    max_attempts: int = 6
+    jitter: float = 0.25
+
+    def delay(self, attempt: int, u: float) -> float:
+        """Backoff before retry *attempt* (0-based), jittered by *u* in [0,1)."""
+        raw = min(self.base_delay * (2.0 ** attempt), self.max_delay)
+        return raw * (1.0 + self.jitter * u)
+
+
+class FaultInjector:
+    """Draws per-zone fault outcomes from independent seeded streams.
+
+    One injector instance serves one simulation run.  The provider consults
+    it at allocation and launch-scheduling time, the server consults it for
+    retry jitter, and the network model consults :meth:`bandwidth_factor`
+    through a degradation hook.  Counters accumulate locally and mirror into
+    a bound :class:`~repro.core.stats.ServingStats` when one is attached.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan or FaultPlan()
+        self._streams: Dict[str, np.random.Generator] = {}
+        self._stats = None
+        self.counters: Dict[str, int] = {
+            "allocation_refusals": 0,
+            "launch_failures": 0,
+            "stragglers": 0,
+            "early_preemptions_injected": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # streams and counters
+    # ------------------------------------------------------------------
+    def _stream(self, zone: str, kind: str) -> np.random.Generator:
+        """Return the RNG stream for (*zone*, *kind*), creating on first use."""
+        name = f"{zone}:{kind}"
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = np.random.default_rng(_derive_seed(self.plan.seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def bind_stats(self, stats) -> None:
+        """Mirror injector-owned counters into *stats* from now on."""
+        self._stats = stats
+
+    def record(self, key: str, amount: int = 1) -> None:
+        """Bump local counter *key* (and the bound stats' field if present).
+
+        Fault kinds whose effect can be pre-empted by another event (launch
+        failures racing zone outages) are recorded by the provider at the
+        moment the fault actually lands, not at draw time.
+        """
+        self.counters[key] = self.counters.get(key, 0) + amount
+        if self._stats is not None and hasattr(self._stats, key):
+            setattr(self._stats, key, getattr(self._stats, key) + amount)
+
+    # ------------------------------------------------------------------
+    # fault draws (one method per fault kind; all zone-scoped)
+    # ------------------------------------------------------------------
+    def refused_count(self, zone: str, market: str, requested: int) -> int:
+        """How many of *requested* instances the cloud refuses in *zone*.
+
+        Each instance is refused independently with ``refusal_prob``; the
+        *market* name only scopes the RNG stream so spot and on-demand
+        refusals draw independently.
+        """
+        model = self.plan.model_for(zone)
+        if model is None or model.refusal_prob <= 0.0 or requested <= 0:
+            return 0
+        stream = self._stream(zone, f"refusal:{market}")
+        refused = int(np.count_nonzero(stream.random(requested) < model.refusal_prob))
+        if refused:
+            self.record("allocation_refusals", refused)
+        return refused
+
+    def launch_delay_multiplier(self, zone: str) -> float:
+        """Startup-delay multiplier for one launch in *zone* (>= 1.0)."""
+        model = self.plan.model_for(zone)
+        if model is None or model.straggler_prob <= 0.0:
+            return 1.0
+        stream = self._stream(zone, "straggler")
+        if stream.random() >= model.straggler_prob:
+            return 1.0
+        span = max(model.straggler_multiplier, 1.0) - 1.0
+        multiplier = 1.0 + span * stream.random()
+        if multiplier != 1.0:
+            self.record("stragglers")
+        return multiplier
+
+    def launch_failure_at(self, zone: str, now: float, ready_at: float) -> Optional[float]:
+        """Time at which a launch in *zone* dies, or None if it survives.
+
+        The failure time is drawn uniformly inside ``(now, ready_at)`` so the
+        instance is still ``LAUNCHING`` when it fires.
+        """
+        model = self.plan.model_for(zone)
+        if model is None or model.launch_failure_prob <= 0.0:
+            return None
+        stream = self._stream(zone, "launch_failure")
+        if stream.random() >= model.launch_failure_prob:
+            return None
+        span = max(ready_at - now, 0.0)
+        return now + span * stream.random()
+
+    def early_reclaim_time(self, zone: str, now: float, deadline: float) -> Optional[float]:
+        """Actual reclaim time for a preemption announced for *deadline*.
+
+        Returns None to honor the announced deadline, or a time strictly
+        inside ``[now + frac * grace, deadline)`` for an early reclaim.
+        """
+        model = self.plan.model_for(zone)
+        if model is None or model.early_preemption_prob <= 0.0:
+            return None
+        grace = deadline - now
+        if grace <= 0.0:
+            return None
+        stream = self._stream(zone, "early_preemption")
+        if stream.random() >= model.early_preemption_prob:
+            return None
+        frac = min(max(model.min_grace_fraction, 0.0), 1.0)
+        earliest = now + frac * grace
+        reclaim_at = earliest + (deadline - earliest) * stream.random()
+        if reclaim_at >= deadline:
+            return None
+        self.record("early_preemptions_injected")
+        return reclaim_at
+
+    def bandwidth_factor(self, time: float) -> float:
+        """Bandwidth divisor active at *time* (1.0 when undegraded).
+
+        Overlapping windows compound multiplicatively.
+        """
+        factor = 1.0
+        for window in self.plan.degraded_windows:
+            factor *= window.factor_at(time)
+        return factor
+
+    def retry_jitter(self, zone: str) -> float:
+        """Uniform [0,1) draw from the retry-jitter stream for *zone*."""
+        return float(self._stream(zone, "retry_jitter").random())

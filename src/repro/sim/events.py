@@ -37,6 +37,7 @@ class EventType(Enum):
     ZONE_OUTAGE = "zone_outage"
     ACQUISITION_REQUESTED = "acquisition_requested"
     ACQUISITION_READY = "acquisition_ready"
+    LAUNCH_FAILURE = "launch_failure"
     BATCH_COMPLETION = "batch_completion"
     MIGRATION_COMPLETE = "migration_complete"
     RECONFIGURATION = "reconfiguration"

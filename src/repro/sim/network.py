@@ -106,6 +106,11 @@ class NetworkModel:
     ``zone_of`` maps an instance id to its availability zone; when provided,
     transfers whose endpoints live in different zones are charged at the
     (slower, higher-latency) cross-zone tier.
+
+    ``degradation`` is an optional zero-argument hook returning the current
+    bandwidth divisor (fault injection: degraded-bandwidth windows).  It
+    defaults to ``None`` and a returned factor of exactly 1.0 leaves the
+    arithmetic untouched, so the undegraded path stays byte-identical.
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class NetworkModel:
     ) -> None:
         self.spec = spec or NetworkSpec()
         self.zone_of = zone_of
+        self.degradation: Optional[Callable[[], float]] = None
 
     def is_cross_zone(self, transfer: Transfer) -> bool:
         """True when the transfer's endpoints live in different zones."""
@@ -135,6 +141,10 @@ class NetworkModel:
         else:
             bandwidth = self.spec.inter_instance_bandwidth
             latency = self.spec.per_transfer_latency
+        if self.degradation is not None:
+            factor = self.degradation()
+            if factor != 1.0 and factor > 0.0:
+                bandwidth = bandwidth / factor
         return latency + transfer.size_bytes / bandwidth
 
     def batch_time(self, transfers: Iterable[Transfer]) -> float:

@@ -94,10 +94,76 @@ class TestAcquisitionArrangement:
         assert pre.tokens_to_decode <= acq.tokens_to_decode + 1
 
 
+class _FixedIterationModel:
+    """Stub latency model with a constant per-iteration decode time."""
+
+    def __init__(self, iteration=0.5):
+        self.iteration = iteration
+
+    def decode_iteration_time(self, pipeline_degree, tensor_degree, batch_size, context_length=0):
+        return self.iteration
+
+
+class TestHandComputedArrangements:
+    """Section 4.2 arithmetic pinned with a fixed 0.5 s iteration time."""
+
+    @pytest.fixture()
+    def fixed(self):
+        return InterruptionArranger(_FixedIterationModel(0.5))
+
+    def test_preemption_fills_grace_minus_migration(self, fixed):
+        # Grace window 10 s, migration 3.2 s -> decode budget 6.8 s ->
+        # S = floor(6.8 / 0.5) = 13 iterations, stopping at 100 + 6.5 = 106.5.
+        batch = make_batch()
+        arrangement = fixed.arrange_preemption(batch, CONFIG, 100.0, 110.0, 3.2)
+        assert arrangement.tokens_to_decode == 13
+        assert arrangement.stop_time == pytest.approx(106.5)
+        # Preserved work 13 * 0.5 = 6.5 s > T_mig = 3.2 s: migrating pays off.
+        assert arrangement.migrate_cache
+
+    def test_preemption_reroutes_when_migration_dominates(self, fixed):
+        # Budget 10 - 9.8 = 0.2 s -> S = 0; preserved work 0 < T_mig.
+        batch = make_batch()
+        arrangement = fixed.arrange_preemption(batch, CONFIG, 100.0, 110.0, 9.8)
+        assert arrangement.tokens_to_decode == 0
+        assert arrangement.reroutes
+
+    def test_acquisition_covers_initialisation(self, fixed):
+        # T^+ = 4.3 s -> S = ceil(4.3 / 0.5) = 9 iterations, stop at 104.5.
+        batch = make_batch()
+        arrangement = fixed.arrange_acquisition(batch, CONFIG, 100.0, 104.3, 2.0)
+        assert arrangement.tokens_to_decode == 9
+        assert arrangement.stop_time == pytest.approx(104.5)
+        assert arrangement.migrate_cache
+
+    def test_tokens_capped_by_remaining_work(self, fixed):
+        # Only 4 tokens of work left: a huge budget still stops at 4.
+        batch = make_batch(output_tokens=4)
+        arrangement = fixed.arrange_preemption(batch, CONFIG, 0.0, 1000.0, 1.0)
+        assert arrangement.tokens_to_decode == 4
+
+
 class TestFaultTolerance:
     def test_overlapping_deadlines_take_earliest(self, arranger):
         assert arranger.merge_overlapping_deadlines([150.0, 130.0, 170.0]) == 130.0
         assert arranger.merge_overlapping_deadlines([]) is None
+
+    def test_overlapping_deadlines_skip_missing_entries(self, arranger):
+        # Idle pipelines report no deadline (None); they must not mask the
+        # earliest live one, and an all-idle set merges to no deadline.
+        assert arranger.merge_overlapping_deadlines([None, 150.0, None, 130.0]) == 130.0
+        assert arranger.merge_overlapping_deadlines([None, None]) is None
+
+    def test_is_early_preemption_classification(self, arranger):
+        # No announced deadline (e.g. an on-demand death): never "early".
+        assert not arranger.is_early_preemption(None, 100.0)
+        # Reclaim clearly before the announced deadline: early.
+        assert arranger.is_early_preemption(110.0, 100.0)
+        # Exactly on time, or within floating-point tolerance: not early.
+        assert not arranger.is_early_preemption(110.0, 110.0)
+        assert not arranger.is_early_preemption(110.0, 110.0 - 5e-10)
+        # Late reclaims are not early either.
+        assert not arranger.is_early_preemption(110.0, 110.5)
 
     def test_early_preemption_abandons_cache(self, arranger):
         batch = make_batch(committed=50)
@@ -106,6 +172,15 @@ class TestFaultTolerance:
         assert revised.tokens_to_decode == 0
         assert not revised.migrate_cache
         assert revised.stop_time <= 5.0
+        assert revised.kind == original.kind
+
+    def test_early_preemption_never_stops_in_the_past(self, arranger):
+        # A reclaim processed *after* the actual deadline (same-instant event
+        # ordering) must clamp the stop time to the deadline, not to "now".
+        batch = make_batch(committed=50)
+        original = arranger.arrange_preemption(batch, CONFIG, 0.0, 30.0, 2.0)
+        revised = arranger.rearrange_for_early_preemption(original, actual_deadline=5.0, now=6.0)
+        assert revised.stop_time == 5.0
 
     def test_delayed_join_when_migration_still_running(self, arranger):
         assert arranger.should_delay_join(pending_migration_time=20.0, ready_time=110.0, now=100.0)

@@ -39,10 +39,13 @@ from repro.workload.arrival import GammaArrivals
 #: requests_dropped counters, so this pins the conservation accounting, not
 #: just the serving outcome.  Recorded when the outage subsystem landed;
 #: re-recorded when the overload-control counters (requests_rejected /
-#: requests_shed, both zero here) joined the extended summary -- the run
-#: itself is unchanged, which the untouched legacy ``summary_text()``
+#: requests_shed, both zero here) joined the extended summary, and again
+#: when the fault-injection counters (allocation_refusals /
+#: launch_failures / acquisition_retries / early_preemptions /
+#: migration_fallbacks / allocation_shortfall, all zero here) joined -- the
+#: run itself is unchanged, which the untouched legacy ``summary_text()``
 #: golden digests prove.
-ZONE_OUTAGE_SHA256 = "f93544a6fa56a4ab0f8d65cb5e98b0218d7e08e2d80bfcf1c302ba5fcd10c81e"
+ZONE_OUTAGE_SHA256 = "e3a263c6a0d31d4ebe01ef5588fac45b7c018437b6045f8d0dd352d1b3bb248b"
 
 
 # ----------------------------------------------------------------------
