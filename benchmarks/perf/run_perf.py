@@ -35,11 +35,14 @@ fleet); a ``chaos`` scenario does the same for the cloud-fault injection
 layer (seeded allocation refusals, launch failures, straggler launches,
 early reclaims, degraded-bandwidth windows) and the acquisition
 retry/backoff + launch-watchdog machinery that chases those faults (its
-row carries the ``fault_counters`` block).
+row carries the ``fault_counters`` block); and a ``multi_tenant`` scenario
+keeps the fleet-partitioner path (per-round fleet splits, sticky ownership
+rebalancing, per-tenant conservation accounting) measured and guarded.
 ``--policy-benchmark`` appends the autoscaling-policy head-to-head
 sweep plus the admission-policy overload sweep (cost / p99 / rejected /
 shed per variant; see :mod:`repro.experiments.policy_bench`) to the BENCH
-JSON.
+JSON, along with the two-tenant price-spike rows (latency-tier vs
+batch-tier on a shared fleet).
 
 Usage::
 
@@ -73,12 +76,14 @@ from repro.core.server import SpotServeSystem  # noqa: E402
 from repro.experiments.policy_bench import run_policy_benchmark  # noqa: E402
 from repro.experiments.runner import (  # noqa: E402
     ExperimentResult,
+    run_multi_tenant_experiment,
     run_scenario_experiment,
     run_serving_experiment,
 )
 from repro.experiments.scenarios import (  # noqa: E402
     chaos_scenario,
     heavy_traffic_scenario,
+    multi_tenant_scenario,
     multi_zone_fluctuating_scenario,
     overload_scenario,
     stable_workload_scenario,
@@ -156,6 +161,16 @@ def _run_overload() -> ExperimentResult:
     )
 
 
+def _run_multi_tenant() -> ExperimentResult:
+    # Two tenants (latency-tier vs batch-tier) sharing a four-zone spot
+    # fleet through the FleetPartitioner: per-round partitioning, sticky
+    # ownership rebalancing and per-tenant accounting all on the measured
+    # path.  Returns the fleet-wide aggregate result (per-tenant digests
+    # are exercised by the tier-1 tenancy tests, not timed here).
+    scenario = multi_tenant_scenario("OPT-6.7B", duration=600.0)
+    return run_multi_tenant_experiment(scenario, drain_time=120.0)
+
+
 SCENARIOS: Dict[str, Callable[[], ExperimentResult]] = {
     # The two golden determinism scenarios, run at their golden durations.
     "end-to-end": _run_end_to_end,
@@ -178,6 +193,11 @@ SCENARIOS: Dict[str, Callable[[], ExperimentResult]] = {
     # fault-injection and acquisition-resilience machinery on the measured
     # path.
     "chaos": _run_chaos,
+    # Two tenants sharing a four-zone spot fleet through the
+    # FleetPartitioner: per-round fleet partitioning, sticky ownership
+    # rebalancing and per-tenant conservation accounting on the measured
+    # path.
+    "multi_tenant": _run_multi_tenant,
 }
 
 
@@ -411,6 +431,7 @@ def main(argv=None) -> int:
         "zone-outage",
         "overload",
         "chaos",
+        "multi_tenant",
     ]
     if args.check is not None and args.jobs > 1:
         # Parallel scenarios time each other's interference; comparing that
@@ -470,6 +491,12 @@ def main(argv=None) -> int:
         for row in policy_payload["admission_rows"]:
             print(
                 f"[admission] {row['scenario']:<11} {row['admission']:<20} "
+                f"cost ${row['total_cost']:.2f}  p99 {row['p99_latency']}s  "
+                f"rejected {row['requests_rejected']}  shed {row['requests_shed']}"
+            )
+        for row in policy_payload.get("tenant_rows", []):
+            print(
+                f"[tenant] {row['tenant']:<13} {row['admission']:<20} "
                 f"cost ${row['total_cost']:.2f}  p99 {row['p99_latency']}s  "
                 f"rejected {row['requests_rejected']}  shed {row['requests_shed']}"
             )

@@ -10,7 +10,7 @@ pool of spare instances the paper keeps for smoother substitutions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from ..sim.events import Event, EventType
 from .instance import Instance, InstanceState, Market
@@ -31,6 +31,19 @@ class InstanceManager:
         self.candidate_pool_size = candidate_pool_size
         self._held: Dict[str, Instance] = {}
         self._pending_preemption: Dict[str, float] = {}
+        #: Tenancy hooks, installed by :mod:`repro.core.tenancy` and all
+        #: ``None`` in single-tenant mode so legacy behaviour (and the golden
+        #: digests) is untouched.  ``allowed_zones`` restricts allocations to
+        #: a subset of the market's zones; ``ownership_filter`` restricts
+        #: provider-wide views (initial adoption, launching/on-demand scans)
+        #: to instances owned by this manager's tenant; ``granted_hook`` is
+        #: called once per freshly granted instance so the coordinator can
+        #: record ownership; ``excluded`` hides instances the fleet
+        #: partitioner assigned to another tenant this round.
+        self.allowed_zones: Optional[FrozenSet[str]] = None
+        self.ownership_filter: Optional[Callable[[Instance], bool]] = None
+        self.granted_hook: Optional[Callable[[Instance], None]] = None
+        self.excluded: Optional[FrozenSet[str]] = None
 
     # ------------------------------------------------------------------
     # Event intake (wired by the serving system)
@@ -111,10 +124,13 @@ class InstanceManager:
         paper's ``N_t`` "includes newly allocated instances and excludes
         instances to be preempted".
         """
+        excluded = self.excluded
         return [
             inst
             for inst in self._held.values()
-            if inst.is_usable and inst.instance_id not in self._pending_preemption
+            if inst.is_usable
+            and inst.instance_id not in self._pending_preemption
+            and (excluded is None or inst.instance_id not in excluded)
         ]
 
     def doomed_instances(self) -> List[Instance]:
@@ -144,7 +160,7 @@ class InstanceManager:
         return sum(
             1
             for inst in self.provider.alive_instances()
-            if inst.market is Market.ON_DEMAND
+            if inst.market is Market.ON_DEMAND and self._owned(inst)
         )
 
     def launching_instances(self) -> List[Instance]:
@@ -155,8 +171,14 @@ class InstanceManager:
         through the provider.
         """
         return [
-            inst for inst in self.provider.alive_instances() if inst.is_launching
+            inst
+            for inst in self.provider.alive_instances()
+            if inst.is_launching and self._owned(inst)
         ]
+
+    def _owned(self, instance: Instance) -> bool:
+        """True when *instance* belongs to this manager's tenant (or no filter)."""
+        return self.ownership_filter is None or self.ownership_filter(instance)
 
     def on_launch_failure(self, event: Event) -> Instance:
         """Forget an instance whose launch died before becoming ready.
@@ -198,6 +220,15 @@ class InstanceManager:
         """
         if count <= 0:
             return []
+        if self.allowed_zones is not None:
+            if zone is not None:
+                if zone not in self.allowed_zones:
+                    return []
+            else:
+                forbidden = sorted(
+                    set(self.provider.zone_names) - self.allowed_zones
+                )
+                avoid_zones = list(avoid_zones or ()) + forbidden
         granted: List[Instance] = list(
             self.provider.request_spot(count, zone=zone, avoid_zones=avoid_zones)
         )
@@ -209,6 +240,9 @@ class InstanceManager:
                         remaining, zone=zone, avoid_zones=avoid_zones
                     )
                 )
+        if self.granted_hook is not None:
+            for instance in granted:
+                self.granted_hook(instance)
         return granted
 
     def free(
@@ -255,7 +289,28 @@ class InstanceManager:
         return released
 
     def adopt_initial_fleet(self) -> List[Instance]:
-        """Adopt every instance the provider already made usable (time zero fleet)."""
+        """Adopt every instance the provider already made usable (time zero fleet).
+
+        In multi-tenant mode the :attr:`ownership_filter` keeps each tenant's
+        manager to the slice of the initial fleet the coordinator assigned it.
+        """
         for instance in self.provider.usable_instances():
-            self._held[instance.instance_id] = instance
+            if self._owned(instance):
+                self._held[instance.instance_id] = instance
         return self.held_instances()
+
+    # ------------------------------------------------------------------
+    # Multi-tenant rebalance handover
+    # ------------------------------------------------------------------
+    def adopt(self, instance: Instance) -> None:
+        """Take ownership of an already-usable *instance* (tenant rebalance)."""
+        self._held[instance.instance_id] = instance
+
+    def disown(self, instance_id: str) -> Optional[Instance]:
+        """Release bookkeeping for *instance_id* without terminating it.
+
+        Used by the tenancy coordinator to hand an idle instance to another
+        tenant's manager; returns the instance, or ``None`` if it was not held.
+        """
+        self._pending_preemption.pop(instance_id, None)
+        return self._held.pop(instance_id, None)

@@ -169,6 +169,15 @@ class CostTracker:
             totals[record.zone] = totals.get(record.zone, 0.0) + record.cost(now)
         return totals
 
+    def iter_records(self) -> List[BillingRecord]:
+        """Every billing record, closed intervals first then open ones.
+
+        The tenancy layer uses this to apportion fleet cost per tenant: each
+        record's ``instance_id`` is matched against the coordinator's
+        ownership map and its :meth:`BillingRecord.cost` summed per owner.
+        """
+        return list(self._closed) + list(self._records.values())
+
     def cost_per_token(self, now: float, tokens_generated: int) -> float:
         """USD per generated token (``inf`` when nothing was generated)."""
         if tokens_generated <= 0:

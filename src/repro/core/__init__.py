@@ -31,6 +31,12 @@ from .interruption import InterruptionArrangement, InterruptionArranger
 from .migration import MigrationPlan, MigrationPlanner, MigrationStep
 from .server import ServingSystemBase, SpotServeOptions, SpotServeSystem
 from .stats import AutoscaleRecord, ReconfigurationRecord, ServingStats
+from .tenancy import (
+    FleetPartitioner,
+    MultiTenantSystem,
+    TenantDemand,
+    TenantSpec,
+)
 
 __all__ = [
     "AdmissionPolicy",
@@ -67,4 +73,8 @@ __all__ = [
     "ServingSystemBase",
     "SpotServeOptions",
     "SpotServeSystem",
+    "FleetPartitioner",
+    "MultiTenantSystem",
+    "TenantDemand",
+    "TenantSpec",
 ]

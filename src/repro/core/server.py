@@ -34,7 +34,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..cloud.instance import Instance
 from ..cloud.manager import InstanceManager
@@ -137,6 +137,13 @@ class SpotServeOptions:
     #: in surviving zones.  ``0`` disables the watchdog.  Only armed while
     #: retries are enabled.
     launch_watchdog_multiplier: float = 3.0
+    #: Fleet partitioner consulted once per adaptation round (duck-typed to
+    #: avoid a circular import; see :class:`repro.core.tenancy.FleetPartitioner`).
+    #: ``None`` disables the hook entirely -- byte-identical to builds
+    #: without the tenancy subsystem (the golden digests pin this, like
+    #: ``admission`` and ``fault_injector``).  With a partitioner installed
+    #: the system only plans on the share :meth:`share_for` grants it.
+    fleet_partitioner: Optional[object] = None
 
 
 class ServingSystemBase:
@@ -156,10 +163,22 @@ class ServingSystemBase:
         input_length: int = DEFAULT_INPUT_LENGTH,
         output_length: int = DEFAULT_OUTPUT_LENGTH,
         initial_arrival_rate: float = 0.35,
+        perf: Optional[PhaseTimers] = None,
+        tenant: str = "",
     ) -> None:
         self.simulator = simulator
         self.provider = provider
         self.model = model
+        #: Tenant label in multi-tenant runs (``""`` in single-tenant mode).
+        self.tenant = tenant
+        #: Ownership predicate installed by the tenancy coordinator: when
+        #: set, instance-scoped events for foreign instances are ignored so
+        #: several systems can share one simulator.  ``None`` (the default)
+        #: keeps every event -- byte-identical to single-tenant builds.
+        self.instance_owned: Optional[Callable[[Instance], bool]] = None
+        #: Zones this system may see (``None`` = whole market).  Installed
+        #: alongside :attr:`instance_owned` by the tenancy coordinator.
+        self.allowed_zones: Optional[frozenset] = None
         self.options = options or SpotServeOptions()
         self.latency_model = latency_model or LatencyModel(model, provider.instance_type.gpu)
         self.memory_model = memory_model or MemoryModel(model, provider.instance_type.gpu)
@@ -178,11 +197,14 @@ class ServingSystemBase:
         self.request_queue = RequestQueue(max_batch_size=8)
         self.stats = ServingStats(
             system_name=self.name,
+            tenant=self.tenant,
             retain_requests=self.options.retain_completed_requests,
         )
         #: Wall-clock phase timers shared by the whole control stack
         #: (propose / map / plan / simulate); read by ``benchmarks/perf``.
-        self.perf = PhaseTimers()
+        #: Multi-tenant runs pass one shared instance so the perf harness
+        #: sees the whole fleet's control-stack time in one place.
+        self.perf = perf if perf is not None else PhaseTimers()
 
         self.profiler = OfflineProfiler(
             self.latency_model,
@@ -290,6 +312,8 @@ class ServingSystemBase:
         """Schedule arrival events for *requests* (pre-materialised workload)."""
         schedule = self.simulator.schedule_at
         for request in requests:
+            if self.tenant:
+                request.tenant = self.tenant
             schedule(request.arrival_time, EventType.REQUEST_ARRIVAL, payload=request)
         self._submitted_requests += len(requests)
 
@@ -333,6 +357,7 @@ class ServingSystemBase:
             arrival_time=time,
             input_tokens=input_tokens,
             output_tokens=output_tokens,
+            tenant=self.tenant,
         )
         self._submitted_requests += 1
         self.simulator.schedule_at(
@@ -358,7 +383,9 @@ class ServingSystemBase:
             self.stats.record_config(0.0, config)
         if self.options.workload_check_interval > 0:
             self.simulator.schedule_after(
-                self.options.workload_check_interval, EventType.WORKLOAD_CHECK
+                self.options.workload_check_interval,
+                EventType.WORKLOAD_CHECK,
+                payload={"system": self},
             )
 
     def run(self, until: float) -> ServingStats:
@@ -413,6 +440,8 @@ class ServingSystemBase:
     # ------------------------------------------------------------------
     def _on_request_arrival(self, event: Event) -> None:
         request: Request = event.payload
+        if request.tenant != self.tenant:
+            return  # Another tenant's arrival on the shared simulator.
         self._arrived_requests += 1
         if self.admission is not None and not self.admission.admit(
             request,
@@ -431,9 +460,29 @@ class ServingSystemBase:
         self.request_queue.enqueue(request)
         self._dispatch()
 
+    def _instance_visible(self, instance: Instance) -> bool:
+        """True when this system should react to *instance*'s events.
+
+        Always true in single-tenant mode (:attr:`instance_owned` is
+        ``None``); the tenancy coordinator installs an ownership predicate
+        so each tenant only reacts to its own slice of the shared fleet.
+        """
+        owned = self.instance_owned
+        return owned is None or owned(instance)
+
+    def _visible_zone_names(self) -> Sequence[str]:
+        """The market zones this system may see (all of them by default)."""
+        if self.allowed_zones is None:
+            return self.provider.zone_names
+        return [
+            name for name in self.provider.zone_names if name in self.allowed_zones
+        ]
+
     def _on_preemption_notice(self, event: Event) -> None:
         instance: Instance = event.payload["instance"]
         deadline: float = event.payload["deadline"]
+        if not self._instance_visible(instance):
+            return
         self.stats.preemption_notices += 1
         self.instance_manager.on_preemption_notice(event)
         # An instance can be doomed twice (zone-outage warning, then an
@@ -447,6 +496,8 @@ class ServingSystemBase:
 
     def _on_preemption_final(self, event: Event) -> None:
         instance: Instance = event.payload["instance"]
+        if not self._instance_visible(instance):
+            return
         # Detect a reclaim landing before its announced deadline *before*
         # the bookkeeping pops the deadline.  The fault-free provider never
         # fires a final early (zone outages included), so with no injector
@@ -464,6 +515,8 @@ class ServingSystemBase:
 
     def _on_acquisition_ready(self, event: Event) -> None:
         instance: Instance = event.payload["instance"]
+        if not self._instance_visible(instance):
+            return
         self.stats.acquisitions += 1
         watchdog = self._watchdog_events.pop(instance.instance_id, None)
         if watchdog is not None:
@@ -490,6 +543,8 @@ class ServingSystemBase:
         payload = event.payload
         zone: str = payload["zone"]
         phase: str = payload["phase"]
+        if self.allowed_zones is not None and zone not in self.allowed_zones:
+            return  # Outage in a zone another tenant owns exclusively.
         if phase == "warning":
             deadline: float = payload["start"]
             self._zone_doom_deadlines[zone] = deadline
@@ -521,6 +576,8 @@ class ServingSystemBase:
         avoiding the zone that just failed the launch.
         """
         instance: Instance = event.payload["instance"]
+        if not self._instance_visible(instance):
+            return
         if not event.payload.get("applied", False):
             return
         self.instance_manager.on_launch_failure(event)
@@ -533,16 +590,51 @@ class ServingSystemBase:
         )
 
     def _on_workload_check(self, event: Event) -> None:
-        # Overload control first: shedding runs before the autoscaler and
-        # the workload re-evaluation so sizing and configuration decisions
-        # see the post-shed backlog instead of chasing doomed requests.
+        # On a shared simulator every system sees every WORKLOAD_CHECK; the
+        # ``system`` payload key scopes each round to the system that armed
+        # it (absent on legacy events, so single-tenant behaviour and the
+        # golden digests are untouched).
+        owner = event.payload.get("system") if event.payload else None
+        if owner is not None and owner is not self:
+            return
+        # Fleet partition first, then overload control: shedding runs before
+        # the autoscaler and the workload re-evaluation so sizing and
+        # configuration decisions see the post-shed backlog (and, in
+        # multi-tenant mode, only this round's share of the fleet).
+        self._run_partitioner_round()
         self._run_admission_round()
         self._run_autoscaler()
         self.handle_workload_check()
         if self.options.workload_check_interval > 0:
             self.simulator.schedule_after(
-                self.options.workload_check_interval, EventType.WORKLOAD_CHECK
+                self.options.workload_check_interval,
+                EventType.WORKLOAD_CHECK,
+                payload={"system": self},
             )
+
+    def _run_partitioner_round(self) -> None:
+        """Consult the fleet partitioner once per adaptation round.
+
+        With no partitioner installed (the default) this is a no-op.  With
+        one installed, the instances the partitioner assigns to *other*
+        tenants are excluded from the manager's stable view for the rest of
+        the round, so the propose/map/plan stack only ever sees this
+        tenant's share.  A partitioner that grants the whole stable set
+        (any single-tenant setup) leaves the view untouched, which the
+        counting-partitioner golden test pins non-vacuously.
+        """
+        partitioner = self.options.fleet_partitioner
+        if partitioner is None:
+            return
+        # Lift last round's restriction first: the partitioner re-splits
+        # from the whole stable set, never from its own previous output.
+        self.instance_manager.excluded = None
+        share = partitioner.share_for(self)
+        stable = self.instance_manager.stable_instances()
+        excluded = frozenset(
+            inst.instance_id for inst in stable if inst.instance_id not in share
+        )
+        self.instance_manager.excluded = excluded or None
 
     # ------------------------------------------------------------------
     # Overload control (admission + shedding)
@@ -591,6 +683,16 @@ class ServingSystemBase:
             for instance_id in pipeline.assignment.instance_ids
         }
 
+    def _alive_in_zone(self, name: str) -> int:
+        """Alive instances in *name* this system may count (ownership-aware)."""
+        if self.instance_owned is None:
+            return self.provider.alive_in_zone(name)
+        return sum(
+            1
+            for inst in self.provider.instances_in_zone(name)
+            if inst.is_alive and self._instance_visible(inst)
+        )
+
     def _autoscale_signal(self) -> AutoscaleSignal:
         """Snapshot the serving state for one autoscaling round."""
         now = self.simulator.now
@@ -606,12 +708,14 @@ class ServingSystemBase:
             if instance.instance_id in in_use:
                 releasable[instance.zone] -= 1
         launching = sum(
-            1 for inst in self.provider.alive_instances() if not inst.is_usable
+            1
+            for inst in self.provider.alive_instances()
+            if not inst.is_usable and self._instance_visible(inst)
         )
         zones = tuple(
             ZoneView(
                 name=name,
-                alive_instances=self.provider.alive_in_zone(name),
+                alive_instances=self._alive_in_zone(name),
                 # A zone under an outage warning still *sells* capacity (the
                 # provider only zeroes it inside the window), but buying
                 # there would burn the acquire budget on instances that die
@@ -626,7 +730,7 @@ class ServingSystemBase:
                 on_demand_price=self.provider.on_demand_price(name, now),
                 releasable_instances=releasable.get(name, 0),
             )
-            for name in self.provider.zone_names
+            for name in self._visible_zone_names()
         )
         return AutoscaleSignal(
             time=now,
@@ -826,6 +930,14 @@ class ServingSystemBase:
 
     def _on_batch_completion(self, event: Event) -> None:
         pipeline, batch = event.payload  # type: InferencePipeline, Batch
+        if self.instance_owned is not None and (
+            self._completion_events.get(id(pipeline)) is not event
+        ):
+            # Another tenant's pipeline (or a stale event): only the system
+            # that scheduled the completion may complete it.  Off in
+            # single-tenant mode, where the ``current_batch`` check below is
+            # the historical (and equivalent) stale-event filter.
+            return
         if pipeline.current_batch is not batch:
             return  # The batch was interrupted before completing.
         completed = pipeline.complete_batch(event.time)
@@ -837,9 +949,13 @@ class ServingSystemBase:
         self._dispatch()
 
     def _on_reconfiguration(self, event: Event) -> None:
+        if event.payload.get("system") not in (None, self):
+            return  # Another tenant's reconfiguration on the shared simulator.
         self._execute_reconfiguration_event(event)
 
     def _on_migration_complete(self, event: Event) -> None:
+        if event.payload.get("system") not in (None, self):
+            return  # Another tenant's migration on the shared simulator.
         self._finish_reconfiguration(event)
 
     # ------------------------------------------------------------------
@@ -1143,6 +1259,7 @@ class ServingSystemBase:
                 "migrated_bytes": migrated_bytes,
                 "reused_bytes": reused_bytes,
                 "objective": objective,
+                "system": self,
             },
         )
 
@@ -1181,7 +1298,11 @@ class ServingSystemBase:
         self.simulator.schedule_at(
             self._migration_until,
             EventType.MIGRATION_COMPLETE,
-            payload={"new_config": new_config, "placement": payload["placement"]},
+            payload={
+                "new_config": new_config,
+                "placement": payload["placement"],
+                "system": self,
+            },
         )
 
     def _finish_reconfiguration(self, event: Event) -> None:

@@ -72,6 +72,11 @@ class ServingStats:
     """
 
     system_name: str = ""
+    #: Tenant label in multi-tenant runs (``""`` in single-tenant mode).
+    #: When set, :meth:`summary` carries a ``tenant`` key so per-tenant
+    #: digests are distinguishable; when empty the key is omitted entirely,
+    #: keeping the legacy golden digests byte-identical.
+    tenant: str = ""
     retain_requests: bool = True
     completed_requests: List[Request] = field(default_factory=list)
     reconfigurations: List[ReconfigurationRecord] = field(default_factory=list)
@@ -189,7 +194,7 @@ class ServingStats:
         completion order exactly like ``sum()`` over the old per-request
         list, so digests stay byte-identical.
         """
-        return {
+        summary: Dict[str, object] = {
             "system": self.system_name,
             "completed": self.completed_count,
             "tokens_generated": self.tokens_generated,
@@ -208,6 +213,9 @@ class ServingStats:
                 (time, str(config)) for time, config in self.config_timeline
             ],
         }
+        if self.tenant:
+            summary["tenant"] = self.tenant
+        return summary
 
     def summary_text(self) -> str:
         """Byte-comparable rendering of :meth:`summary` (one ``key=repr`` per line).

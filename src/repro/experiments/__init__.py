@@ -15,7 +15,9 @@ from .policy_bench import (
 from .runner import (
     DEFAULT_DRAIN_TIME,
     ExperimentResult,
+    MultiTenantResult,
     run_comparison,
+    run_multi_tenant_experiment,
     run_scenario_experiment,
     run_serving_experiment,
 )
@@ -23,10 +25,12 @@ from .scenarios import (
     COMPARED_SYSTEMS,
     STABLE_MODELS,
     STABLE_TRACES,
+    MultiTenantScenario,
     MultiZoneScenario,
     Scenario,
     fluctuating_workload_scenario,
     heavy_traffic_scenario,
+    multi_tenant_scenario,
     multi_zone_fluctuating_scenario,
     stable_workload_scenario,
     zone_outage_scenario,
@@ -39,6 +43,8 @@ __all__ = [
     "DEFAULT_DRAIN_TIME",
     "ExperimentResult",
     "LatencyStats",
+    "MultiTenantResult",
+    "MultiTenantScenario",
     "MultiZoneScenario",
     "POLICY_VARIANTS",
     "REPORTED_PERCENTILES",
@@ -49,8 +55,10 @@ __all__ = [
     "fluctuating_workload_scenario",
     "heavy_traffic_scenario",
     "improvement_factor",
+    "multi_tenant_scenario",
     "multi_zone_fluctuating_scenario",
     "run_comparison",
+    "run_multi_tenant_experiment",
     "run_policy_benchmark",
     "run_scenario_experiment",
     "run_serving_experiment",

@@ -33,10 +33,16 @@ import multiprocessing
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .runner import ExperimentResult, run_scenario_experiment
+from .runner import (
+    ExperimentResult,
+    MultiTenantResult,
+    run_multi_tenant_experiment,
+    run_scenario_experiment,
+)
 from .scenarios import (
     chaos_scenario,
     heavy_traffic_scenario,
+    multi_tenant_scenario,
     multi_zone_fluctuating_scenario,
     overload_scenario,
     zone_outage_scenario,
@@ -81,6 +87,9 @@ ADMISSION_VARIANTS: Dict[str, Dict] = {
 
 #: Duration of the overload cell (seconds of offered workload).
 DEFAULT_OVERLOAD_DURATION = 600.0
+
+#: Duration of the multi-tenant cell (seconds of offered workload).
+DEFAULT_TENANT_DURATION = 600.0
 
 
 def build_cell(
@@ -242,6 +251,60 @@ def run_admission_cell(
     )
 
 
+def run_tenant_cell(
+    duration: float = DEFAULT_TENANT_DURATION,
+    seed: int = 0,
+) -> MultiTenantResult:
+    """Run the two-tenant price-spike cell (latency tier vs batch tier).
+
+    Both tenants hold mirrored zone pairs of identical size and price, so
+    their fleet costs are byte-equal and any p99 difference is attributable
+    to the per-tenant SLO/admission policies (the latency tier's
+    deadline-aware shedding vs the batch tier's unbounded queue).
+
+    Args:
+        duration: Offered-workload length in seconds.
+        seed: Base workload seed (each tenant derives its own stream).
+
+    Returns:
+        The cell's :class:`~repro.experiments.runner.MultiTenantResult`.
+    """
+    scenario = multi_tenant_scenario(duration=duration, seed=seed)
+    return run_multi_tenant_experiment(scenario, drain_time=120.0)
+
+
+def tenant_result_rows(
+    result: MultiTenantResult,
+    admission_by_tenant: Optional[Dict[str, str]] = None,
+) -> List[Dict]:
+    """Flatten a multi-tenant result into one report row per tenant.
+
+    Each row is the standard :func:`result_row` shape plus a ``tenant``
+    column, so the BENCH report renders tenants side by side exactly like
+    policy variants.
+
+    Args:
+        result: The multi-tenant cell's result.
+        admission_by_tenant: Each tenant's admission-policy name for the
+            ``admission`` column (``"none"`` when omitted).
+
+    Returns:
+        One flat JSON-safe row per tenant, sorted by tenant name.
+    """
+    admissions = admission_by_tenant or {}
+    rows: List[Dict] = []
+    for tenant in sorted(result.tenants):
+        row = result_row(
+            "multi-tenant",
+            "fleet-partitioner",
+            result.tenants[tenant],
+            admission=admissions.get(tenant, "none"),
+        )
+        row["tenant"] = tenant
+        rows.append(row)
+    return rows
+
+
 def _cell_worker(job: Tuple[str, str, int, int]) -> Dict:
     """Worker entry point: run one cell and return its row (picklable)."""
     scenario_name, policy_name, heavy_target_requests, seed = job
@@ -261,6 +324,17 @@ def _admission_cell_worker(job: Tuple[str, float, int]) -> Dict:
     return result_row("overload", "fixed-fleet", result, admission=admission_name)
 
 
+def _tenant_cell_worker(job: Tuple[float, int]) -> List[Dict]:
+    """Worker entry point: run the multi-tenant cell, one row per tenant."""
+    duration, seed = job
+    scenario = multi_tenant_scenario(duration=duration, seed=seed)
+    result = run_multi_tenant_experiment(scenario, drain_time=120.0)
+    admissions = {
+        spec.name: spec.admission or "none" for spec in scenario.tenants
+    }
+    return tenant_result_rows(result, admission_by_tenant=admissions)
+
+
 def run_policy_benchmark(
     policies: Optional[Sequence[str]] = None,
     scenarios: Optional[Sequence[str]] = None,
@@ -269,6 +343,8 @@ def run_policy_benchmark(
     seed: int = 0,
     admission_variants: Optional[Sequence[str]] = None,
     overload_duration: float = DEFAULT_OVERLOAD_DURATION,
+    include_tenants: bool = True,
+    tenant_duration: float = DEFAULT_TENANT_DURATION,
 ) -> Dict:
     """Sweep every policy through every scenario; returns the report payload.
 
@@ -289,10 +365,15 @@ def run_policy_benchmark(
             sweep (default: all of :data:`ADMISSION_VARIANTS`; pass an
             empty sequence to skip the sweep).
         overload_duration: Offered-workload length of the overload cells.
+        include_tenants: Also run the two-tenant price-spike cell
+            (latency tier vs batch tier on a shared fleet) and report one
+            row per tenant in ``tenant_rows``.
+        tenant_duration: Offered-workload length of the multi-tenant cell.
 
     Returns:
-        The report payload: ``rows`` (policy x scenario), ``admission_rows``
-        (admission x overload) and the swept variant lists.
+        The report payload: ``rows`` (policy x scenario),
+        ``admission_rows`` (admission x overload), ``tenant_rows`` (one per
+        tenant of the shared-fleet cell) and the swept variant lists.
     """
     policies = list(policies if policies is not None else POLICY_VARIANTS)
     scenarios = list(scenarios if scenarios is not None else BENCH_SCENARIOS)
@@ -308,17 +389,25 @@ def run_policy_benchmark(
         (admission_name, overload_duration, seed)
         for admission_name in admission_variants
     ]
-    if workers is not None and workers > 1 and len(jobs) + len(admission_jobs) > 1:
+    tenant_jobs = [(tenant_duration, seed)] if include_tenants else []
+    total_jobs = len(jobs) + len(admission_jobs) + len(tenant_jobs)
+    tenant_rows: List[Dict] = []
+    if workers is not None and workers > 1 and total_jobs > 1:
         with multiprocessing.Pool(
-            processes=min(workers, max(len(jobs) + len(admission_jobs), 1))
+            processes=min(workers, max(total_jobs, 1))
         ) as pool:
             policy_async = pool.map_async(_cell_worker, jobs)
             admission_async = pool.map_async(_admission_cell_worker, admission_jobs)
+            tenant_async = pool.map_async(_tenant_cell_worker, tenant_jobs)
             rows = policy_async.get()
             admission_rows = admission_async.get()
+            tenant_rows = [row for batch in tenant_async.get() for row in batch]
     else:
         rows = [_cell_worker(job) for job in jobs]
         admission_rows = [_admission_cell_worker(job) for job in admission_jobs]
+        tenant_rows = [
+            row for job in tenant_jobs for row in _tenant_cell_worker(job)
+        ]
     return {
         "benchmark": "autoscaling-policy head-to-head",
         "policies": policies,
@@ -327,4 +416,5 @@ def run_policy_benchmark(
         "seed": seed,
         "rows": rows,
         "admission_rows": admission_rows,
+        "tenant_rows": tenant_rows,
     }

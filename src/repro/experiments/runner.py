@@ -19,6 +19,7 @@ from ..cloud.trace import AvailabilityTrace
 from ..cloud.zone import ZoneSpec
 from ..core.server import ServingSystemBase, SpotServeOptions, SpotServeSystem
 from ..core.stats import ServingStats
+from ..core.tenancy import MultiTenantSystem
 from ..faults.injector import FaultInjector, FaultPlan
 from ..llm.spec import ModelSpec, get_model
 from ..sim.engine import Simulator
@@ -289,6 +290,119 @@ def run_scenario_experiment(
         zones=scenario.zones,
         allow_spot_requests=allow_spot_requests,
         **kwargs,
+    )
+
+
+@dataclass
+class MultiTenantResult(ExperimentResult):
+    """An :class:`ExperimentResult` for the whole fleet plus per-tenant results.
+
+    The fleet-wide fields aggregate every tenant (stats via
+    :meth:`~repro.core.tenancy.MultiTenantSystem.aggregate_stats`, cost from
+    the shared tracker); :attr:`tenants` holds one ordinary
+    :class:`ExperimentResult` per tenant, with that tenant's own latency
+    distribution, conservation counters and billing share.
+    """
+
+    #: Per-tenant results, keyed by tenant name.
+    tenants: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+
+def run_multi_tenant_experiment(
+    scenario,
+    drain_time: float = DEFAULT_DRAIN_TIME,
+    system_cls: Type[ServingSystemBase] = SpotServeSystem,
+    instance_type: InstanceType = G4DN_12XLARGE,
+    allow_spot_requests: bool = False,
+    rebalance_interval: Optional[float] = None,
+) -> MultiTenantResult:
+    """Run a :class:`~repro.experiments.scenarios.MultiTenantScenario`.
+
+    Builds one shared simulator and cloud provider, a
+    :class:`~repro.core.tenancy.MultiTenantSystem` coordinator over the
+    scenario's tenants, streams each tenant's seeded arrival process and
+    returns the fleet-wide result with per-tenant breakdowns.
+
+    Args:
+        scenario: The multi-tenant scenario (tenants, zones, duration).
+        drain_time: Extra simulated seconds after the workload ends.
+        system_cls: Per-tenant serving system class (SpotServe by default).
+        instance_type: Cloud instance type of the market.
+        allow_spot_requests: Let tenants request instances beyond the
+            traces (off by default -- the benchmark pins the fleet so the
+            equal-cost comparison holds).
+        rebalance_interval: Seconds between cross-tenant rebalance rounds
+            (``None`` = the coordinator's default).
+
+    Returns:
+        A :class:`MultiTenantResult`; ``result.tenants[name]`` carries each
+        tenant's own latency, conservation and cost share.
+    """
+    fault_injector = (
+        FaultInjector(scenario.fault_plan) if scenario.fault_plan is not None else None
+    )
+    simulator = Simulator()
+    provider = CloudProvider(
+        simulator,
+        None,
+        instance_type=instance_type,
+        zones=scenario.zones,
+        allow_spot_requests=allow_spot_requests,
+        fault_injector=fault_injector,
+    )
+    system = MultiTenantSystem(
+        simulator,
+        provider,
+        scenario.tenants,
+        system_cls=system_cls,
+        rebalance_interval=rebalance_interval,
+    )
+    system.submit_workloads(scenario.duration)
+    system.initialize()
+    system.run(until=scenario.duration + drain_time)
+
+    now = simulator.now
+    tracker = provider.cost_tracker
+    trace_name = "+".join(zone.name for zone in scenario.zones)
+    tenant_costs = system.tenant_costs(now)
+    tenant_results: Dict[str, ExperimentResult] = {}
+    for spec in scenario.tenants:
+        tenant_system = system.systems[spec.name]
+        stats = tenant_system.stats
+        tenant_results[spec.name] = ExperimentResult(
+            system_name=tenant_system.name,
+            model_name=spec.model_name,
+            trace_name=trace_name,
+            duration=scenario.duration,
+            stats=stats,
+            latency=LatencyStats.from_latencies(stats.latencies()),
+            submitted_requests=tenant_system.submitted_requests,
+            completed_requests=stats.completed_count,
+            total_cost=tenant_costs.get(spec.name, 0.0),
+            spot_cost=tenant_costs.get(spec.name, 0.0),
+            on_demand_cost=0.0,
+            tokens_generated=stats.tokens_generated,
+            perf=system.perf.summary(),
+            dispatched_events=simulator.dispatched_events,
+        )
+    aggregate = system.aggregate_stats()
+    return MultiTenantResult(
+        system_name=system.name,
+        model_name="+".join(sorted({spec.model_name for spec in scenario.tenants})),
+        trace_name=trace_name,
+        duration=scenario.duration,
+        stats=aggregate,
+        latency=LatencyStats.from_latencies(aggregate.latencies()),
+        submitted_requests=system.submitted_requests,
+        completed_requests=aggregate.completed_count,
+        total_cost=tracker.total_cost(now),
+        spot_cost=tracker.total_cost(now, Market.SPOT),
+        on_demand_cost=tracker.total_cost(now, Market.ON_DEMAND),
+        tokens_generated=aggregate.tokens_generated,
+        cost_by_zone=tracker.cost_by_zone(now),
+        perf=system.perf.summary(),
+        dispatched_events=simulator.dispatched_events,
+        tenants=tenant_results,
     )
 
 

@@ -17,6 +17,7 @@ from ..cloud.pricing import PriceSchedule
 from ..cloud.trace import AvailabilityTrace, TraceEvent, TraceEventKind, get_trace
 from ..cloud.zone import OutageWindow, ZoneSpec
 from ..core.server import ServingSystemBase, SpotServeOptions, SpotServeSystem
+from ..core.tenancy import TenantSpec
 from ..faults.injector import DegradedWindow, FaultPlan, ZoneFaultModel
 from ..workload.arrival import GammaArrivals, TimeVaryingArrivals, default_rate_for
 from ..workload.maf import synthesize_maf_profile
@@ -694,6 +695,139 @@ def overload_scenario(
         rate=default_rate_for(model_name) * rate_multiplier, cv=cv, seed=seed
     )
     return scenario, arrivals
+
+
+@dataclass(frozen=True)
+class MultiTenantScenario:
+    """Several tenants sharing one spot market (see :mod:`repro.core.tenancy`).
+
+    Frozen/hashable like :class:`MultiZoneScenario` so benchmark sweeps can
+    key on it; run it with
+    :func:`~repro.experiments.runner.run_multi_tenant_experiment`.
+    """
+
+    #: The tenants sharing the fleet (names must be unique).
+    tenants: Tuple[TenantSpec, ...]
+    #: The shared spot market's availability zones.
+    zones: Tuple[ZoneSpec, ...]
+    #: Workload length in seconds.
+    duration: float
+    seed: int = 0
+    #: Cloud-fault plan (``None`` installs no injector; see
+    #: :class:`MultiZoneScenario.fault_plan` for the determinism contract).
+    fault_plan: Optional[FaultPlan] = None
+
+    @property
+    def initial_instances(self) -> int:
+        """Fleet size at time zero across all zones."""
+        return sum(zone.trace.initial_instances for zone in self.zones)
+
+
+def multi_tenant_market(duration: float = 600.0) -> Tuple[ZoneSpec, ...]:
+    """Four zones forming two *mirrored* pairs for the two-tenant benchmark.
+
+    ``lat-east``/``batch-east`` are byte-identical twins (two instances,
+    the classic mid-run price spike) and so are ``lat-west``/``batch-west``
+    (one calm flat-priced instance each).  A latency tenant pinned to the
+    ``lat-*`` pair and a batch tenant pinned to the ``batch-*`` pair
+    therefore hold fleets of identical size and *identical cost* -- any
+    latency difference between them is attributable to their SLO/admission
+    policies alone, and a solo re-run of either tenant on just its own pair
+    replays the same per-zone traces, prices and victim RNG streams (zone
+    seeds are derived from the zone *name*), which the differential test
+    exploits.  The fleet is pinned: no trace events, capacity equals the
+    pre-warmed fleet.
+    """
+
+    def pair(prefix: str) -> Tuple[ZoneSpec, ZoneSpec]:
+        east = ZoneSpec(
+            name=f"{prefix}-east",
+            trace=AvailabilityTrace(
+                name=f"{prefix}-east-mt",
+                initial_instances=2,
+                events=[],
+                duration=duration,
+            ),
+            capacity=2,
+            spot_pricing=PriceSchedule(
+                base_price=1.5,
+                changes=((0.4 * duration, 3.2), (0.7 * duration, 1.6)),
+            ),
+        )
+        west = ZoneSpec(
+            name=f"{prefix}-west",
+            trace=AvailabilityTrace(
+                name=f"{prefix}-west-mt",
+                initial_instances=1,
+                events=[],
+                duration=duration,
+            ),
+            capacity=1,
+            spot_pricing=PriceSchedule.flat(1.9),
+        )
+        return east, west
+
+    return pair("lat") + pair("batch")
+
+
+def multi_tenant_scenario(
+    model_name: str = "OPT-6.7B",
+    duration: float = 600.0,
+    seed: int = 0,
+    latency_rate_multiplier: float = 0.8,
+    batch_rate_multiplier: float = 4.0,
+    slo_latency: float = 60.0,
+) -> MultiTenantScenario:
+    """A latency-tier tenant vs a batch tenant competing under a price spike.
+
+    The latency tenant serves a moderate workload under a latency SLO with
+    deadline-aware shedding and double priority; the batch tenant pushes a
+    sustained overload with no admission control.  Each tenant is pinned to
+    its own mirrored zone pair of :func:`multi_tenant_market`, so both hold
+    three instances at byte-identical prices for the whole run -- the
+    policy benchmark's "latency tenant beats the batch tenant's p99 at
+    equal fleet cost" row falls out of the policies, not the fleet.
+
+    Args:
+        model_name: Model served for both tenants.
+        duration: Workload length in seconds.
+        seed: Base workload seed (each tenant derives an independent one).
+        latency_rate_multiplier: Latency tenant's offered load as a multiple
+            of the model's nominal rate.
+        batch_rate_multiplier: Batch tenant's offered load multiple
+            (well past what its three instances can serve).
+        slo_latency: The latency tenant's SLO in seconds.
+
+    Returns:
+        The scenario; run it with ``run_multi_tenant_experiment``.
+    """
+    nominal = default_rate_for(model_name)
+    latency_tenant = TenantSpec(
+        name="latency-tier",
+        model_name=model_name,
+        priority=2.0,
+        slo_latency=slo_latency,
+        admission="deadline-aware",
+        min_instances=1,
+        zones=("lat-east", "lat-west"),
+        arrival_rate=nominal * latency_rate_multiplier,
+        seed=seed + 1,
+    )
+    batch_tenant = TenantSpec(
+        name="batch-tier",
+        model_name=model_name,
+        priority=1.0,
+        min_instances=1,
+        zones=("batch-east", "batch-west"),
+        arrival_rate=nominal * batch_rate_multiplier,
+        seed=seed + 2,
+    )
+    return MultiTenantScenario(
+        tenants=(latency_tenant, batch_tenant),
+        zones=multi_tenant_market(duration),
+        duration=duration,
+        seed=seed,
+    )
 
 
 def fluctuating_workload_scenario(

@@ -38,6 +38,10 @@ class Request:
     output_tokens: int = DEFAULT_OUTPUT_TOKENS
     request_id: int = field(default_factory=lambda: next(_request_ids))
     state: RequestState = RequestState.QUEUED
+    #: Tenant that submitted the request (``""`` in single-tenant mode; set
+    #: by :mod:`repro.core.tenancy` so each tenant's serving system only
+    #: processes its own arrivals on a shared simulator).
+    tenant: str = ""
 
     #: Number of output tokens whose KV cache has been committed so far.
     committed_tokens: int = 0
