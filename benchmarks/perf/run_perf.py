@@ -35,9 +35,13 @@ fleet); a ``chaos`` scenario does the same for the cloud-fault injection
 layer (seeded allocation refusals, launch failures, straggler launches,
 early reclaims, degraded-bandwidth windows) and the acquisition
 retry/backoff + launch-watchdog machinery that chases those faults (its
-row carries the ``fault_counters`` block); and a ``multi_tenant`` scenario
+row carries the ``fault_counters`` block); a ``multi_tenant`` scenario
 keeps the fleet-partitioner path (per-round fleet splits, sticky ownership
-rebalancing, per-tenant conservation accounting) measured and guarded.
+rebalancing, per-tenant conservation accounting) measured and guarded; and
+a ``tiered_offload`` scenario keeps the migration planner's host/object
+storage spill tier (tiered plan derivation inside the grace window,
+spill/restore accounting -- its row carries the ``spill_counters`` block)
+measured and guarded.
 ``--policy-benchmark`` appends the autoscaling-policy head-to-head
 sweep plus the admission-policy overload sweep (cost / p99 / rejected /
 shed per variant; see :mod:`repro.experiments.policy_bench`) to the BENCH
@@ -87,6 +91,7 @@ from repro.experiments.scenarios import (  # noqa: E402
     multi_zone_fluctuating_scenario,
     overload_scenario,
     stable_workload_scenario,
+    tiered_offload_scenario,
     zone_outage_scenario,
 )
 
@@ -161,6 +166,19 @@ def _run_overload() -> ExperimentResult:
     )
 
 
+def _run_tiered_offload() -> ExperimentResult:
+    # Big-model (GPT-20B) migration under grace-deadline pressure with the
+    # host/object-storage offload tier installed: tier selection in the
+    # migration planner, spill/restore accounting and the degraded-window
+    # tier bandwidths all on the measured path.  The fleet is pinned
+    # (allow_spot_requests=False) so the run matches the acceptance
+    # comparison in the tier-1 suite.
+    scenario, arrivals = tiered_offload_scenario()
+    return run_scenario_experiment(
+        scenario, arrivals, drain_time=300.0, allow_spot_requests=False
+    )
+
+
 def _run_multi_tenant() -> ExperimentResult:
     # Two tenants (latency-tier vs batch-tier) sharing a four-zone spot
     # fleet through the FleetPartitioner: per-round partitioning, sticky
@@ -198,6 +216,10 @@ SCENARIOS: Dict[str, Callable[[], ExperimentResult]] = {
     # rebalancing and per-tenant conservation accounting on the measured
     # path.
     "multi_tenant": _run_multi_tenant,
+    # Big-model migration under grace-deadline pressure with the
+    # host/object-storage offload tier: tiered plan derivation and the
+    # spill/restore accounting on the measured path.
+    "tiered_offload": _run_tiered_offload,
 }
 
 
@@ -264,6 +286,17 @@ def measure(name: str) -> Dict:
         # Only fault-injected scenarios (chaos) report the resilience
         # counters; fault-free rows stay byte-stable across this addition.
         report["fault_counters"] = fault_counters
+    spill_counters = {
+        "bytes_spilled": stats.bytes_spilled,
+        "bytes_restored": stats.bytes_restored,
+        "bytes_abandoned": stats.bytes_abandoned,
+        "restores": stats.restores,
+        "spill_fallbacks": stats.spill_fallbacks,
+    }
+    if any(spill_counters.values()):
+        # Only tier-configured scenarios (tiered_offload) report the spill
+        # accounting; tier-less rows stay byte-stable across this addition.
+        report["spill_counters"] = spill_counters
     baseline_ms = PRE_FAST_PATH_ROUND_MS.get(name)
     if baseline_ms is not None and round_ms > 0:
         report["pre_fast_path_round_ms"] = baseline_ms
@@ -432,6 +465,7 @@ def main(argv=None) -> int:
         "overload",
         "chaos",
         "multi_tenant",
+        "tiered_offload",
     ]
     if args.check is not None and args.jobs > 1:
         # Parallel scenarios time each other's interference; comparing that

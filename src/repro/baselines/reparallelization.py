@@ -17,7 +17,7 @@ executed (full restart, nothing preserved) and when preemptions are handled
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..cloud.instance import Instance
 from ..core.config import ParallelConfig
@@ -61,7 +61,15 @@ class ReparallelizationSystem(SpotServeSystem):
     # ------------------------------------------------------------------
     def _prepare_transition(
         self, new_config: ParallelConfig, reason: str
-    ) -> Tuple[Dict[DeviceId, TopologyPosition], float, float, float, float, bool]:
+    ) -> Tuple[
+        Dict[DeviceId, TopologyPosition],
+        float,
+        float,
+        float,
+        float,
+        bool,
+        Optional[Dict[str, float]],
+    ]:
         devices = self._available_devices()
         placement = self._default_placement(new_config, devices)
         restart = self.restart_planner.estimate_restart_plan(
@@ -71,4 +79,4 @@ class ReparallelizationSystem(SpotServeSystem):
         # the engines relaunch and reload every parameter from storage.
         stall_time = restart.stall_time
         stop_time = self.simulator.now
-        return placement, stall_time, stop_time, 0.0, 0.0, False
+        return placement, stall_time, stop_time, 0.0, 0.0, False, None

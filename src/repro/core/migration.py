@@ -142,7 +142,14 @@ class MigrationStep:
 
 @dataclass
 class MigrationPlan:
-    """A complete, ordered context-migration plan."""
+    """A complete, ordered context-migration plan.
+
+    ``tier`` is ``"direct"`` for classic GPU-to-GPU plans (every field
+    behaves exactly as before tiering existed) and ``"offload"`` for plans
+    derived by :meth:`MigrationPlanner.derive_tiered_plan`, where a suffix
+    of the steps is spilled to the host/object-storage tier inside the
+    grace window and restored on the destination side afterwards.
+    """
 
     steps: List[MigrationStep]
     layer_order: List[int]
@@ -152,6 +159,20 @@ class MigrationPlan:
     storage_load_time: float
     total_bytes: float
     remote_bytes: float
+    #: Transport tier of the plan: ``"direct"`` or ``"offload"``.
+    tier: str = "direct"
+    #: Bytes written to the offload tier during the grace window.
+    spilled_bytes: float = 0.0
+    #: Bytes the destinations read back from the tier (equals
+    #: :attr:`spilled_bytes` at planning time; runtime accounting splits
+    #: restored from abandoned when destinations die mid-restore).
+    restored_bytes: float = 0.0
+    #: Duration of the source-side spill phase.
+    spill_time: float = 0.0
+    #: Duration of the destination-side restore phase.
+    restore_time: float = 0.0
+    #: Duration of the direct (GPU-to-GPU) prefix kept inside the window.
+    direct_window_time: float = 0.0
 
     @property
     def is_empty(self) -> bool:
@@ -162,6 +183,20 @@ class MigrationPlan:
     def migration_time(self) -> float:
         """``T_mig``: the serving stall the interruption arranger budgets for."""
         return self.stall_time + self.storage_load_time
+
+    @property
+    def window_time(self) -> float:
+        """Source-side work that must finish before the reclaim deadline.
+
+        For direct plans this is exactly :attr:`migration_time` (the whole
+        stall must fit the grace window, byte-identical to the pre-tiering
+        arithmetic).  For tiered plans only the direct prefix plus the spill
+        must beat the deadline -- the restore runs on surviving destinations
+        after the sources are gone.
+        """
+        if self.tier == "direct":
+            return self.migration_time
+        return self.direct_window_time + self.spill_time
 
 
 class MigrationPlanner:
@@ -291,6 +326,103 @@ class MigrationPlanner:
             storage_load_time=0.0,
             total_bytes=0.0,
             remote_bytes=0.0,
+        )
+
+    def derive_tiered_plan(
+        self, plan: MigrationPlan, window: float
+    ) -> Optional[MigrationPlan]:
+        """Derive an offload-tier plan from *plan* that fits *window*.
+
+        Keeps the longest prefix of the plan's steps on the direct
+        GPU-to-GPU path and spills the remaining suffix to the network
+        model's :class:`~repro.sim.network.OffloadTierSpec` (sources upload
+        inside the grace window; surviving destinations download
+        afterwards).  Returns ``None`` when no tier is configured, the plan
+        already fits the window, nothing would be spilled, or even the
+        all-spill plan (``k = 0``) cannot beat the deadline -- callers then
+        fall through to the pre-tiering reroute fallback.
+
+        The input plan may be a shared, memoised object: it is never
+        mutated.  Suffix steps are rebuilt with fresh ``tier="offload"``
+        :class:`~repro.sim.network.Transfer` records; prefix steps are
+        reused as-is (read-only).  The derived plan is *not* memoised --
+        the window varies continuously with simulation time.
+        """
+        if self.network.offload_tier is None:
+            return None
+        if plan.tier != "direct" or plan.is_empty or not plan.steps:
+            return None
+        if plan.migration_time <= window:
+            return None
+        steps = plan.steps
+        durations = [self.network.batch_time(step.transfers) for step in steps]
+        prefix_time = 0.0
+        prefix_times = [0.0]
+        for duration in durations:
+            prefix_time += duration
+            prefix_times.append(prefix_time)
+        # Largest k (steps kept direct) whose direct prefix plus the spill
+        # of the suffix still beats the deadline.  k == len(steps) would
+        # spill nothing and is excluded: if the full direct plan missed the
+        # window, a tier-less derivation cannot help.
+        best_k: Optional[int] = None
+        for k in range(len(steps) - 1, -1, -1):
+            suffix_transfers = [
+                t for step in steps[k:] for t in step.transfers
+            ]
+            spill = self.network.spill_time(suffix_transfers)
+            if prefix_times[k] + spill <= window:
+                best_k = k
+                break
+        if best_k is None:
+            return None
+        suffix_transfers = [t for step in steps[best_k:] for t in step.transfers]
+        spill_time = self.network.spill_time(suffix_transfers)
+        restore_time = self.network.restore_time(suffix_transfers)
+        spilled_bytes = float(
+            sum(t.size_bytes for t in suffix_transfers if not t.is_noop)
+        )
+        if spilled_bytes <= 0.0:
+            # The deadline miss is not transfer-bound (e.g. storage loads):
+            # spilling moves nothing and cannot shorten the plan.
+            return None
+        new_steps: List[MigrationStep] = list(steps[:best_k])
+        for step in steps[best_k:]:
+            new_steps.append(
+                MigrationStep(
+                    kind=step.kind,
+                    layer_index=step.layer_index,
+                    transfers=[
+                        Transfer(
+                            src=t.src,
+                            dst=t.dst,
+                            size_bytes=t.size_bytes,
+                            tag=t.tag,
+                            tier="offload",
+                        )
+                        for t in step.transfers
+                    ],
+                    storage_bytes=step.storage_bytes,
+                    stages_ready=list(step.stages_ready),
+                )
+            )
+        direct_window_time = prefix_times[best_k]
+        stall_time = direct_window_time + spill_time + restore_time
+        return MigrationPlan(
+            steps=new_steps,
+            layer_order=list(plan.layer_order),
+            total_time=stall_time,
+            stall_time=stall_time,
+            peak_buffer_bytes=plan.peak_buffer_bytes,
+            storage_load_time=plan.storage_load_time,
+            total_bytes=plan.total_bytes,
+            remote_bytes=plan.remote_bytes,
+            tier="offload",
+            spilled_bytes=spilled_bytes,
+            restored_bytes=spilled_bytes,
+            spill_time=spill_time,
+            restore_time=restore_time,
+            direct_window_time=direct_window_time,
         )
 
     # ------------------------------------------------------------------
@@ -843,6 +975,13 @@ class MigrationPlanner:
             peaks = np.maximum(usage_vector[:, None] + delta_matrix, 0.0).max(axis=0)
             peaks[~alive] = np.inf
             column = int(np.argmin(peaks))
+            if not alive[column]:
+                # Every live peak itself overflowed to +inf (astronomical
+                # transfer sizes), making live columns indistinguishable
+                # from the dead-column mask.  The reference's strict-less
+                # scan never updates in that case and keeps position 0 --
+                # the first *live* candidate.
+                column = int(np.flatnonzero(alive)[0])
             alive[column] = False
             usage_vector = np.maximum(
                 usage_vector + delta_matrix[:, column], 0.0

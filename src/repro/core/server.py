@@ -51,7 +51,7 @@ from ..llm.spec import ModelSpec
 from ..perf import PhaseTimers
 from ..sim.engine import Simulator
 from ..sim.events import Event, EventType
-from ..sim.network import NetworkModel
+from ..sim.network import NetworkModel, OffloadTierSpec
 from ..workload.arrival import ArrivalProcess
 from ..workload.request import Request
 from .admission import AdmissionPolicy, AdmissionSignal, make_admission_policy
@@ -130,6 +130,14 @@ class SpotServeOptions:
     #: is installed (retrying by-design spot-market refusals would change
     #: the fault-free goldens; retrying injected refusals is the point).
     acquisition_retries: Optional[bool] = None
+    #: Host/object-storage spill tier for grace-window migration (see
+    #: :class:`repro.sim.network.OffloadTierSpec`).  ``None`` disables the
+    #: tier entirely -- byte-identical to builds without the subsystem (the
+    #: golden digests pin this, like ``admission`` and ``fault_injector``).
+    #: With a tier installed, a migration that cannot beat the merged grace
+    #: deadline spills its tail to the tier instead of abandoning cache
+    #: preservation.
+    offload_tier: Optional[OffloadTierSpec] = None
     #: Backoff policy for acquisition retries (base/cap/attempts/jitter).
     retry_policy: RetryPolicy = RetryPolicy()
     #: Launch-watchdog timeout as a multiple of the instance type's startup
@@ -253,6 +261,13 @@ class ServingSystemBase:
             provider.fault_injector = injector
             injector.bind_stats(self.stats)
             self.network.degradation = self._current_bandwidth_factor
+        if self.options.offload_tier is not None:
+            self.network.offload_tier = self.options.offload_tier
+        #: Spilled bytes awaiting their destination-side restore, per
+        #: destination instance (set while a tiered reconfiguration is in
+        #: flight, empty otherwise).  Closes the spill conservation equation
+        #: at any instant; see :meth:`pending_spill_bytes`.
+        self._pending_spill: Dict[str, float] = {}
         if self.options.acquisition_retries is None:
             self._retries_enabled = injector is not None
         else:
@@ -1190,6 +1205,20 @@ class ServingSystemBase:
         unarrived = self._submitted_requests - self._arrived_requests
         return self.request_queue.pending + inflight + resumable + unarrived
 
+    def pending_spill_bytes(self) -> float:
+        """Bytes parked in the offload tier awaiting their restore.
+
+        Non-zero only while a tiered reconfiguration is in flight (between
+        its RECONFIGURATION and MIGRATION_COMPLETE events).  The spill
+        conservation invariant -- the tiered analogue of request
+        conservation -- then holds at *any* simulation instant::
+
+            stats.bytes_spilled == stats.bytes_restored
+                                   + stats.bytes_abandoned
+                                   + pending_spill_bytes()
+        """
+        return float(sum(self._pending_spill.values()))
+
     def _interrupt_all_pipelines(self, preserve_cache: bool) -> List[Batch]:
         """Interrupt every busy pipeline, returning the interrupted batches."""
         interrupted: List[Batch] = []
@@ -1242,6 +1271,7 @@ class ServingSystemBase:
         migrated_bytes: float = 0.0,
         reused_bytes: float = 0.0,
         objective: str = "",
+        spill_restores: Optional[Dict[str, float]] = None,
     ) -> None:
         if self._reconfig_pending:
             self._replan_after_migration = True
@@ -1259,6 +1289,7 @@ class ServingSystemBase:
                 "migrated_bytes": migrated_bytes,
                 "reused_bytes": reused_bytes,
                 "objective": objective,
+                "spill_restores": spill_restores,
                 "system": self,
             },
         )
@@ -1295,12 +1326,20 @@ class ServingSystemBase:
                 objective=payload["objective"],
             )
         )
+        spill_restores = payload.get("spill_restores")
+        if spill_restores:
+            # The sources have uploaded their suffix to the offload tier by
+            # the time the reconfiguration fires; the bytes now sit in the
+            # tier awaiting the destination-side restore.
+            self.stats.bytes_spilled += sum(spill_restores.values())
+            self._pending_spill = dict(spill_restores)
         self.simulator.schedule_at(
             self._migration_until,
             EventType.MIGRATION_COMPLETE,
             payload={
                 "new_config": new_config,
                 "placement": payload["placement"],
+                "spill_restores": spill_restores,
                 "system": self,
             },
         )
@@ -1314,6 +1353,25 @@ class ServingSystemBase:
             for device, position in placement.items()
             if device in live_devices
         }
+        spill_restores = event.payload.get("spill_restores")
+        if spill_restores:
+            # Settle the tier: destinations that survived the migration pull
+            # their bytes back down; bytes whose destination died in flight
+            # are abandoned.  Either way the tier is drained, keeping
+            # ``bytes_spilled == bytes_restored + bytes_abandoned`` exact.
+            live_instances = {device[0] for device in live_devices}
+            restored = 0.0
+            abandoned = 0.0
+            for instance, size in spill_restores.items():
+                if instance in live_instances:
+                    restored += size
+                else:
+                    abandoned += size
+            self.stats.bytes_restored += restored
+            self.stats.bytes_abandoned += abandoned
+            if restored > 0:
+                self.stats.restores += 1
+            self._pending_spill = {}
         self._install_model_contexts(new_config, placement)
         self._build_pipelines(new_config, placement)
         self.current_config = new_config
@@ -1616,8 +1674,8 @@ class SpotServeSystem(ServingSystemBase):
         if self._can_skip_reconfiguration(new_config, reason):
             return
 
-        placement, stall_time, stop_time, migrated, reused, preserve = self._prepare_transition(
-            new_config, reason
+        placement, stall_time, stop_time, migrated, reused, preserve, spills = (
+            self._prepare_transition(new_config, reason)
         )
         self._schedule_reconfiguration(
             new_config=new_config,
@@ -1629,6 +1687,7 @@ class SpotServeSystem(ServingSystemBase):
             migrated_bytes=migrated,
             reused_bytes=reused,
             objective=target.objective,
+            spill_restores=spills,
         )
 
     def _apply_sticky_policy(
@@ -1691,8 +1750,21 @@ class SpotServeSystem(ServingSystemBase):
 
     def _prepare_transition(
         self, new_config: ParallelConfig, reason: str
-    ) -> Tuple[Dict[DeviceId, TopologyPosition], float, float, float, float, bool]:
-        """Compute placement, stall, stop time and migration volume for a switch."""
+    ) -> Tuple[
+        Dict[DeviceId, TopologyPosition],
+        float,
+        float,
+        float,
+        float,
+        bool,
+        Optional[Dict[str, float]],
+    ]:
+        """Compute placement, stall, stop time and migration volume for a switch.
+
+        The last element is the tiered-spill restore map (offload bytes per
+        destination instance) when the chosen plan spills through the
+        offload tier, else ``None``.
+        """
         now = self.simulator.now
         if self.fault_injector is not None:
             # The whole-plan memo keys on context/mapping inputs only, not
@@ -1737,24 +1809,43 @@ class SpotServeSystem(ServingSystemBase):
             "early-preemption",
         ):
             if (
-                self.fault_injector is not None
+                (
+                    self.fault_injector is not None
+                    or self.network.offload_tier is not None
+                )
                 and preserve
                 and effective_deadline is not None
                 and now + plan.migration_time > effective_deadline
             ):
-                # Graceful degradation: the (possibly degraded) network can
-                # no longer complete the migration inside the grace window,
-                # so arranging cache preservation against that deadline
-                # would schedule work the reclaim is going to cut in half.
-                # Fall back to rerouting: interrupt without preserving
-                # caches (requests re-queue and recompute) and migrate only
-                # what the model-context plan needs.  The weight moves the
-                # plan still contains are unavoidable either way and keep
-                # their stall.
-                self.stats.migration_fallbacks += 1
-                preserve = False
-                if cache_info:
-                    plan = self.migration_planner.plan(self.meta_context, mapping, {})
+                # The (possibly degraded) network can no longer complete
+                # the direct migration inside the grace window.  With an
+                # offload tier configured, first try to keep cache
+                # preservation alive by spilling the plan's tail to the
+                # tier (sources upload inside the window, destinations
+                # restore afterwards).
+                tiered = self.migration_planner.derive_tiered_plan(
+                    plan, effective_deadline - now
+                )
+                if tiered is not None:
+                    plan = tiered
+                else:
+                    # Graceful degradation: no tier, or even the all-spill
+                    # plan misses the deadline.  Arranging cache
+                    # preservation against that deadline would schedule
+                    # work the reclaim is going to cut in half, so fall
+                    # back to rerouting: interrupt without preserving
+                    # caches (requests re-queue and recompute) and migrate
+                    # only what the model-context plan needs.  The weight
+                    # moves the plan still contains are unavoidable either
+                    # way and keep their stall.
+                    if self.network.offload_tier is not None:
+                        self.stats.spill_fallbacks += 1
+                    self.stats.migration_fallbacks += 1
+                    preserve = False
+                    if cache_info:
+                        plan = self.migration_planner.plan(
+                            self.meta_context, mapping, {}
+                        )
             # The engine launch of any fresh instance cannot be hidden behind
             # the grace period, so it adds to the stall.
             stall_time = max(plan.migration_time, launch_overhead)
@@ -1767,6 +1858,21 @@ class SpotServeSystem(ServingSystemBase):
             stop_time = now + launch_overhead
             stall_time = plan.migration_time
 
+        spill_restores: Optional[Dict[str, float]] = None
+        if plan.tier == "offload" and plan.spilled_bytes > 0:
+            spill_restores = {}
+            for step in plan.steps:
+                for transfer in step.transfers:
+                    if (
+                        transfer.tier == "offload"
+                        and not transfer.is_noop
+                        and transfer.size_bytes > 0
+                    ):
+                        dst = transfer.dst[0]
+                        spill_restores[dst] = (
+                            spill_restores.get(dst, 0.0) + transfer.size_bytes
+                        )
+
         return (
             mapping.placement,
             stall_time,
@@ -1774,6 +1880,7 @@ class SpotServeSystem(ServingSystemBase):
             plan.total_bytes,
             mapping.reused_bytes,
             preserve,
+            spill_restores,
         )
 
     def _static_decision(
@@ -1803,7 +1910,14 @@ class SpotServeSystem(ServingSystemBase):
         )
 
     def _jit_stop_time(self, deadline: float, plan: MigrationPlan) -> float:
-        """Latest stop time that still leaves room for the migration itself."""
+        """Latest stop time that still leaves room for the migration itself.
+
+        Budgets ``plan.window_time`` against the deadline: for direct plans
+        that is exactly ``migration_time`` (the pre-tiering arithmetic);
+        for tiered plans only the direct prefix plus the spill must finish
+        before the sources disappear -- the destination-side restore runs
+        after the reclaim.
+        """
         now = self.simulator.now
         stop_time = now
         self._active_arrangements = {}
@@ -1815,11 +1929,11 @@ class SpotServeSystem(ServingSystemBase):
                 self.current_config,
                 now,
                 deadline,
-                plan.migration_time,
+                plan.window_time,
             )
             self._active_arrangements[id(pipeline)] = arrangement
             stop_time = max(stop_time, arrangement.stop_time)
-        return min(stop_time, max(deadline - plan.migration_time, now))
+        return min(stop_time, max(deadline - plan.window_time, now))
 
     def _pipeline_inheritance(self, new_config: ParallelConfig) -> Dict[int, int]:
         """Old data-parallel index -> new data-parallel index (identity prefix)."""

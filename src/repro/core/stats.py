@@ -122,6 +122,21 @@ class ServingStats:
     #: demand whose bounded-backoff retries exhausted.  Per-round detail
     #: lives in :attr:`AutoscaleRecord.shortfall`.
     allocation_shortfall: int = 0
+    #: Context bytes spilled to the host/object-storage offload tier during
+    #: grace windows (tiered migration; zero when no tier is configured).
+    bytes_spilled: float = 0.0
+    #: Spilled bytes successfully restored onto surviving destinations.
+    bytes_restored: float = 0.0
+    #: Spilled bytes abandoned because their destination died before the
+    #: restore completed.  At any drained instant
+    #: ``bytes_spilled == bytes_restored + bytes_abandoned``.
+    bytes_abandoned: float = 0.0
+    #: Tiered migrations whose destination-side restore completed.
+    restores: int = 0
+    #: Deadline misses where even the offload tier could not fit the grace
+    #: window, so the planner fell through to rerouting (each of these also
+    #: increments :attr:`migration_fallbacks`).
+    spill_fallbacks: int = 0
     config_timeline: List[Tuple[float, ParallelConfig]] = field(default_factory=list)
     #: Streaming aggregates, filled by :meth:`record_completion`.
     _completed_count: int = field(default=0, init=False, repr=False)
@@ -251,6 +266,11 @@ class ServingStats:
                 "early_preemptions": self.early_preemptions,
                 "migration_fallbacks": self.migration_fallbacks,
                 "allocation_shortfall": self.allocation_shortfall,
+                "bytes_spilled": self.bytes_spilled,
+                "bytes_restored": self.bytes_restored,
+                "bytes_abandoned": self.bytes_abandoned,
+                "restores": self.restores,
+                "spill_fallbacks": self.spill_fallbacks,
             }
         )
         return summary

@@ -5,9 +5,11 @@ queue-latency, cost-aware) plus the cheapest/priciest zone arbitrage, but
 they were never compared against each other.  This module sweeps every
 policy variant through the canonical multi-zone stress scenarios --
 the fluctuating (MAF-like) workload, the >=heavy-traffic event-core stress,
-the zone-outage scenario and the ``chaos`` cloud-fault-injection scenario
+the zone-outage scenario, the ``chaos`` cloud-fault-injection scenario
 (refusals / launch failures / stragglers / early reclaims / degraded
-bandwidth, all seeded) -- under *identical* seeded
+bandwidth, all seeded) and the ``tiered_offload`` big-model migration
+scenario (grace-deadline pressure with the host/object-storage spill tier
+installed; its rows carry the spill accounting) -- under *identical* seeded
 workloads and traces, and distils each run into one row: monetary cost, p99
 latency and requests left unserved (``requests_unserved`` -- with
 SpotServe's conservation guarantee these are still queued at the cutoff,
@@ -45,6 +47,7 @@ from .scenarios import (
     multi_tenant_scenario,
     multi_zone_fluctuating_scenario,
     overload_scenario,
+    tiered_offload_scenario,
     zone_outage_scenario,
 )
 
@@ -64,7 +67,13 @@ POLICY_VARIANTS: Dict[str, Dict[str, str]] = {
 #: stragglers, early reclaims, degraded-bandwidth windows) on top of a dense
 #: preemption market, so its rows also compare each policy's resilience
 #: counters under identical injected faults.
-BENCH_SCENARIOS: Tuple[str, ...] = ("fluctuating", "heavy-traffic", "zone-outage", "chaos")
+BENCH_SCENARIOS: Tuple[str, ...] = (
+    "fluctuating",
+    "heavy-traffic",
+    "zone-outage",
+    "chaos",
+    "tiered_offload",
+)
 
 #: Request volume of the chaos cell (kept below the scenario default so the
 #: full 4-policy sweep stays interactive).
@@ -133,6 +142,18 @@ def build_cell(
             target_requests=DEFAULT_CHAOS_TARGET_REQUESTS,
             autoscale_policy=policy,
         )
+        drain = 300.0
+    elif scenario_name == "tiered_offload":
+        # Big-model (GPT-20B) migration under grace-deadline pressure with
+        # the host/object-storage offload tier installed: the rows compare
+        # how each sizing policy behaves when the planner can spill to the
+        # tier (their ``bytes_spilled`` / ``restores`` / ``spill_fallbacks``
+        # columns are the witness).  ``seed=0`` -- the sweep default --
+        # picks the scenario's representative draw.
+        scenario, arrivals = tiered_offload_scenario(
+            duration=900.0, seed=seed if seed else None
+        )
+        scenario = replace(scenario, autoscale_policy=policy)
         drain = 300.0
     else:
         raise KeyError(
@@ -204,6 +225,9 @@ def result_row(
         "early_preemptions": stats.early_preemptions,
         "migration_fallbacks": stats.migration_fallbacks,
         "allocation_shortfall": stats.allocation_shortfall,
+        "bytes_spilled": round(stats.bytes_spilled, 1),
+        "restores": stats.restores,
+        "spill_fallbacks": stats.spill_fallbacks,
         "autoscale_actions": len(stats.autoscale_actions),
         "reconfigurations": len(stats.reconfigurations),
         "cost_per_token": _finite(result.cost_per_token),

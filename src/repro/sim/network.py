@@ -75,19 +75,78 @@ class NetworkSpec:
 
 
 @dataclass(frozen=True)
+class OffloadTierSpec:
+    """Priced host/object-storage spill tier for grace-window migration.
+
+    When direct GPU-to-GPU migration cannot beat a reclaim deadline, the
+    planner may instead *spill* context from the doomed sources to this
+    slower tier inside the grace window and *restore* it on the destination
+    side afterwards.  Spill and restore bandwidths are separate (object
+    stores typically ingest slower than they serve), and per-zone overrides
+    let degraded or distant zones pay a different price.
+
+    Attributes
+    ----------
+    spill_bandwidth:
+        Source-side upload bandwidth to the tier, bytes/s per instance.
+    restore_bandwidth:
+        Destination-side download bandwidth from the tier, bytes/s per
+        instance.
+    per_spill_latency:
+        Fixed startup latency per spill/restore stream, seconds.
+    zone_bandwidth:
+        Optional per-zone ``(zone, spill_bandwidth)`` overrides, stored as a
+        tuple of pairs so the spec stays hashable/frozen.
+    """
+
+    spill_bandwidth: float = 0.75 * GB
+    restore_bandwidth: float = 1.5 * GB
+    per_spill_latency: float = 0.05
+    zone_bandwidth: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.spill_bandwidth <= 0 or self.restore_bandwidth <= 0:
+            raise ValueError("offload tier bandwidths must be positive")
+        if self.per_spill_latency < 0:
+            raise ValueError("offload tier latency must be non-negative")
+        for zone, bandwidth in self.zone_bandwidth:
+            if bandwidth <= 0:
+                raise ValueError(f"zone {zone!r} offload bandwidth must be positive")
+
+    def spill_bandwidth_for(self, zone: Optional[str]) -> float:
+        """Spill bandwidth applying any per-zone override for *zone*."""
+        if zone is not None:
+            for name, bandwidth in self.zone_bandwidth:
+                if name == zone:
+                    return bandwidth
+        return self.spill_bandwidth
+
+    def restore_bandwidth_for(self, zone: Optional[str]) -> float:
+        """Restore bandwidth (per-zone overrides scale it proportionally)."""
+        if zone is not None:
+            for name, bandwidth in self.zone_bandwidth:
+                if name == zone:
+                    return bandwidth * (self.restore_bandwidth / self.spill_bandwidth)
+        return self.restore_bandwidth
+
+
+@dataclass(frozen=True)
 class Transfer:
     """A single point-to-point context transfer.
 
     ``src`` and ``dst`` identify devices as ``(instance_id, gpu_index)``
     tuples; ``size_bytes`` is the payload size.  ``tag`` is free-form and used
     by the migration planner to distinguish model-context from cache-context
-    transfers.
+    transfers.  ``tier`` records which transport carries the payload:
+    ``"direct"`` (GPU-to-GPU, the default -- byte-identical to the
+    pre-tiering records) or ``"offload"`` (spilled through the slow tier).
     """
 
     src: Tuple[str, int]
     dst: Tuple[str, int]
     size_bytes: float
     tag: str = "model"
+    tier: str = "direct"
 
     @property
     def is_local(self) -> bool:
@@ -111,6 +170,11 @@ class NetworkModel:
     bandwidth divisor (fault injection: degraded-bandwidth windows).  It
     defaults to ``None`` and a returned factor of exactly 1.0 leaves the
     arithmetic untouched, so the undegraded path stays byte-identical.
+
+    ``offload_tier`` is an optional :class:`OffloadTierSpec` pricing the
+    host/object-storage spill tier.  It defaults to ``None`` (no tier), in
+    which case :meth:`spill_time`/:meth:`restore_time` are never consulted
+    and every existing code path is byte-identical to the pre-tiering model.
     """
 
     def __init__(
@@ -121,6 +185,7 @@ class NetworkModel:
         self.spec = spec or NetworkSpec()
         self.zone_of = zone_of
         self.degradation: Optional[Callable[[], float]] = None
+        self.offload_tier: Optional[OffloadTierSpec] = None
 
     def is_cross_zone(self, transfer: Transfer) -> bool:
         """True when the transfer's endpoints live in different zones."""
@@ -173,6 +238,67 @@ class NetworkModel:
         for duration in durations:
             loads[loads.index(min(loads))] += duration
         return max(loads)
+
+    def _tier_bandwidth(self, instance: str, restore: bool) -> float:
+        """Effective per-instance offload bandwidth, degradation applied."""
+        assert self.offload_tier is not None
+        zone = self.zone_of(instance) if self.zone_of is not None else None
+        if restore:
+            bandwidth = self.offload_tier.restore_bandwidth_for(zone)
+        else:
+            bandwidth = self.offload_tier.spill_bandwidth_for(zone)
+        if self.degradation is not None:
+            factor = self.degradation()
+            if factor != 1.0 and factor > 0.0:
+                bandwidth = bandwidth / factor
+        return bandwidth
+
+    def spill_time(self, transfers: Iterable[Transfer]) -> float:
+        """Duration of spilling *transfers*' payloads to the offload tier.
+
+        Each source instance streams its payload to the tier independently
+        (instances do not share the upload path), so the batch duration is
+        the slowest instance's ``latency + bytes / spill_bandwidth``.
+        Returns 0.0 when no tier is configured or nothing needs moving.
+        """
+        if self.offload_tier is None:
+            return 0.0
+        per_instance: dict = {}
+        for transfer in transfers:
+            if transfer.is_noop or transfer.size_bytes <= 0:
+                continue
+            src = transfer.src[0]
+            per_instance[src] = per_instance.get(src, 0.0) + transfer.size_bytes
+        if not per_instance:
+            return 0.0
+        latency = self.offload_tier.per_spill_latency
+        return max(
+            latency + size / self._tier_bandwidth(instance, restore=False)
+            for instance, size in per_instance.items()
+        )
+
+    def restore_time(self, transfers: Iterable[Transfer]) -> float:
+        """Duration of restoring *transfers*' payloads from the offload tier.
+
+        Mirrors :meth:`spill_time` on the destination side: each destination
+        instance downloads its payload independently and the batch finishes
+        with the slowest one.
+        """
+        if self.offload_tier is None:
+            return 0.0
+        per_instance: dict = {}
+        for transfer in transfers:
+            if transfer.is_noop or transfer.size_bytes <= 0:
+                continue
+            dst = transfer.dst[0]
+            per_instance[dst] = per_instance.get(dst, 0.0) + transfer.size_bytes
+        if not per_instance:
+            return 0.0
+        latency = self.offload_tier.per_spill_latency
+        return max(
+            latency + size / self._tier_bandwidth(instance, restore=True)
+            for instance, size in per_instance.items()
+        )
 
     def total_bytes(self, transfers: Sequence[Transfer]) -> float:
         """Total payload moved by *transfers*, excluding no-ops."""

@@ -42,10 +42,12 @@ from repro.workload.arrival import GammaArrivals
 #: requests_shed, both zero here) joined the extended summary, and again
 #: when the fault-injection counters (allocation_refusals /
 #: launch_failures / acquisition_retries / early_preemptions /
-#: migration_fallbacks / allocation_shortfall, all zero here) joined -- the
-#: run itself is unchanged, which the untouched legacy ``summary_text()``
-#: golden digests prove.
-ZONE_OUTAGE_SHA256 = "e3a263c6a0d31d4ebe01ef5588fac45b7c018437b6045f8d0dd352d1b3bb248b"
+#: migration_fallbacks / allocation_shortfall, all zero here) joined, and
+#: again when the tiered-offload counters (bytes_spilled / bytes_restored /
+#: bytes_abandoned / restores / spill_fallbacks, all zero here -- no tier
+#: is configured) joined -- the run itself is unchanged each time, which
+#: the untouched legacy ``summary_text()`` golden digests prove.
+ZONE_OUTAGE_SHA256 = "7b3a94a31add8ce2b081fe89d1c0a296569d27da21957c0b870de9f89c039550"
 
 
 # ----------------------------------------------------------------------
